@@ -1,0 +1,34 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one figure or table of the paper, prints
+the series it reports (so ``pytest benchmarks/ --benchmark-only -s``
+reproduces the numbers), and asserts the *shape* criteria listed in
+DESIGN.md.  Timings come from pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import pytest
+
+
+def print_table(title: str, rows: Sequence[Dict], columns=None) -> None:
+    """Print a figure's data series as an aligned table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = columns or list(rows[0].keys())
+    header = " | ".join(f"{c:>22}" for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>22.6g}")
+            else:
+                cells.append(f"{value!s:>22}")
+        print(" | ".join(cells))

@@ -1,0 +1,75 @@
+"""Ablation: the analog escape hatches of section 4.
+
+* **Calibration/trimming**: eq. 4's mismatch limit only binds
+  *untrimmed* circuits.  How much power does digital calibration buy
+  back per node, and does it restore power scaling?
+* **Emission masks** (the Fig. 9 consequence): how much substrate
+  isolation does a 2.3 GHz VCO need for WLAN- and cellular-class
+  masks as a function of the digital noise level?
+"""
+
+import pytest
+
+from repro.analog import minimum_adc_power
+from repro.signal_integrity import (CELLULAR_MASK, WLAN_MASK, VcoModel,
+                                    compliance_sweep,
+                                    max_tolerable_noise,
+                                    required_isolation_db)
+from repro.technology import all_nodes
+
+from conftest import print_table
+
+
+def generate_ablation():
+    calib_rows = []
+    for node in all_nodes():
+        uncal = minimum_adc_power(node, 100e6, 10.0)
+        cal = minimum_adc_power(node, 100e6, 10.0, calibrated=True)
+        calib_rows.append({
+            "node": node.name,
+            "untrimmed_mW": uncal * 1e3,
+            "calibrated_mW": cal * 1e3,
+            "calibration_gain_x": uncal / cal,
+        })
+
+    vco = VcoModel(center_frequency=2.3e9, substrate_sensitivity=20e6)
+    emission_rows = []
+    for mask in (WLAN_MASK, CELLULAR_MASK):
+        tolerable = max_tolerable_noise(vco, 13e6, mask)
+        emission_rows.append({
+            "mask": mask.name,
+            "limit_dbc": mask.limit_at(13e6),
+            "tolerable_noise_mV": tolerable * 1e3,
+            "isolation_for_5mV_dB":
+                required_isolation_db(5e-3, vco, 13e6, mask),
+        })
+    sweep = compliance_sweep(vco, [0.5e-3, 2e-3, 8e-3, 32e-3], 13e6,
+                             WLAN_MASK)
+    return calib_rows, emission_rows, sweep
+
+
+@pytest.mark.benchmark(group="abl_analog")
+def test_abl_calibration_and_emissions(benchmark):
+    calib, emissions, sweep = benchmark(generate_ablation)
+    print_table("Ablation: ADC calibration gain per node "
+                "(10 bit, 100 MS/s)", calib)
+    print_table("Ablation: emission masks vs substrate noise "
+                "(2.3 GHz VCO, 13 MHz spur)", emissions)
+    print_table("Ablation: WLAN-mask margin vs noise amplitude",
+                sweep)
+
+    # Calibration removes the mismatch tax: order-of-magnitude wins.
+    for row in calib:
+        assert row["calibration_gain_x"] > 3.0
+    # And the gain *shrinks* with scaling as A_VT improves -- the
+    # technology is slowly doing the calibrating for you.
+    gains = [row["calibration_gain_x"] for row in calib]
+    assert gains == sorted(gains, reverse=True)
+    # Stricter mask -> less tolerable noise, more isolation needed.
+    assert emissions[1]["tolerable_noise_mV"] \
+        < emissions[0]["tolerable_noise_mV"]
+    assert emissions[1]["isolation_for_5mV_dB"] \
+        > emissions[0]["isolation_for_5mV_dB"]
+    # Mask margin falls 20 dB per 10x of noise.
+    margins = [row["margin_db"] for row in sweep]
+    assert margins == sorted(margins, reverse=True)

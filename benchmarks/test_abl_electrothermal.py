@@ -1,0 +1,55 @@
+"""Ablation: the electrothermal face of the leakage problem.
+
+Section 4.3 lists thermal interactions among the coupling channels and
+section 2.1 warns about leakage power; their product is the leakage-
+temperature feedback loop.  Fill a 50 mm^2 die at each node, clock at
+node speed, and solve the self-consistent junction temperature: full
+scaling promised constant power density, but below 45 nm the loop
+runs away at a mainstream package resistance -- the thermal
+formulation of the 'end of the road' question.
+"""
+
+import pytest
+
+from repro.technology import all_nodes, get_node
+from repro.thermal import (ThermalStack, fixed_die_electrothermal_trend,
+                           runaway_rth_threshold)
+
+from conftest import print_table
+
+
+def generate_ablation():
+    stack = ThermalStack(rth_junction_to_ambient=2.0)
+    trend = fixed_die_electrothermal_trend(all_nodes(), stack=stack)
+    # Threshold comparison starts at 90 nm: above that, the higher
+    # dynamic power of the big-capacitance nodes dominates the heat
+    # budget and masks the leakage feedback being ablated here.
+    thresholds = [{
+        "node": name,
+        "runaway_rth_K_per_W": runaway_rth_threshold(get_node(name)),
+    } for name in ("90nm", "65nm", "45nm", "32nm")]
+    return trend, thresholds
+
+
+@pytest.mark.benchmark(group="abl_thermal")
+def test_abl_electrothermal(benchmark):
+    trend, thresholds = benchmark(generate_ablation)
+    print_table("Ablation: fixed 50 mm^2 die, node-speed clock, "
+                "Rth = 2 K/W", trend,
+                columns=["node", "n_gates_M", "f_clk_GHz",
+                         "junction_C", "power_density_W_cm2",
+                         "feedback_amplification", "runaway"])
+    print_table("Ablation: package Rth above which the loop runs "
+                "away (1 Mgate @ 1 GHz)", thresholds)
+
+    by_node = {row["node"]: row for row in trend}
+    # The micron-era nodes sit at sane junction temperatures.
+    assert by_node["180nm"]["junction_C"] < 110.0
+    assert by_node["65nm"]["junction_C"] < 110.0
+    # The smallest node runs away: leakage breaks the power-density
+    # promise.
+    assert trend[-1]["runaway"] == 1.0
+    # Required cooling tightens monotonically with scaling.
+    rths = [row["runaway_rth_K_per_W"] for row in thresholds]
+    assert rths == sorted(rths, reverse=True)
+    assert rths[0] > 1.5 * rths[-1]

@@ -1,0 +1,74 @@
+"""Ablation: leakage-management technique shoot-out (section 3.2).
+
+The same 8-bit adder per node, attacked with each technique: MTCMOS
+(dual V_T), VTCMOS (reverse body bias), power gating, plus -- for the
+embedded-memory face -- drowsy SRAM retention.  Shows which levers
+survive scaling: MTCMOS and gating keep working (they attack the
+exponential directly), VTCMOS dies with the body factor and the
+gate-leakage floor.
+"""
+
+import pytest
+
+from repro.digital import (apply_vtcmos_standby, assign_dual_vth,
+                           insert_power_gating, ripple_adder)
+from repro.memory import retention_techniques_trend
+from repro.technology import get_node
+
+from conftest import print_table
+
+NODES = ("180nm", "130nm", "90nm", "65nm", "45nm")
+
+
+def generate_shootout():
+    logic_rows = []
+    for name in NODES:
+        node = get_node(name)
+        adder = ripple_adder(node, width=8)
+        mtcmos = assign_dual_vth(adder, delta_vth=0.1,
+                                 slack_fraction=0.1)
+        vtcmos = apply_vtcmos_standby(adder, vsb=0.5)
+        gated = insert_power_gating(adder)
+        logic_rows.append({
+            "node": name,
+            "mtcmos_reduction": mtcmos.leakage_reduction,
+            "mtcmos_highvt_pct": mtcmos.high_vt_fraction * 100.0,
+            "vtcmos_reduction": vtcmos.reduction,
+            "gating_reduction": gated.reduction,
+            "gating_area_pct": gated.area_overhead * 100.0,
+        })
+    sram_rows = retention_techniques_trend(
+        [get_node(n) for n in NODES])
+    return logic_rows, sram_rows
+
+
+@pytest.mark.benchmark(group="abl_leakage")
+def test_abl_leakage_techniques(benchmark):
+    logic_rows, sram_rows = benchmark(generate_shootout)
+    print_table("Ablation: leakage techniques on an 8-bit adder",
+                logic_rows)
+    print_table("Ablation: SRAM retention techniques", sram_rows)
+
+    by_node = {row["node"]: row for row in logic_rows}
+    # Above the tunnelling era both V_T techniques bite hard.
+    assert by_node["180nm"]["mtcmos_reduction"] > 3.0
+    assert by_node["180nm"]["vtcmos_reduction"] > 50.0
+    # VTCMOS collapses monotonically down to the 65 nm marker.
+    vt = [row["vtcmos_reduction"] for row in logic_rows]
+    assert vt[0] > vt[1] > vt[2] > vt[3]
+    # At 65 nm the V_T-independent gate-tunnelling floor caps *every*
+    # V_T-based technique -- the strongest form of the paper's
+    # warning; only power gating still works.
+    assert by_node["65nm"]["mtcmos_reduction"] < 2.0
+    assert by_node["65nm"]["vtcmos_reduction"] < 2.0
+    assert by_node["65nm"]["gating_reduction"] > 100.0
+    # Below 65 nm the high-k barrier step buys some headroom back.
+    assert by_node["45nm"]["vtcmos_reduction"] \
+        > by_node["65nm"]["vtcmos_reduction"]
+    # Power gating always wins on raw reduction.
+    for row in logic_rows:
+        assert row["gating_reduction"] >= row["mtcmos_reduction"]
+    # SRAM: drowsy keeps working at small nodes; body bias does not.
+    sram_by_node = {row["node"]: row for row in sram_rows}
+    assert sram_by_node["45nm"]["drowsy_reduction"] \
+        > sram_by_node["45nm"]["body_bias_reduction"]

@@ -1,0 +1,92 @@
+"""Ablation: the new-materials levers of sections 2.2-2.3.
+
+Quantifies what the paper's material fixes actually buy:
+
+* high-k gate dielectrics vs SiO2 at the same EOT (gate leakage),
+* the nitrided/high-k barrier step built into the 45/32 nm library
+  nodes vs a counterfactual that kept the 65 nm direct-tunnelling
+  barrier,
+* Cu + low-k vs Al + SiO2 for the eq. 3 wire delay.
+"""
+
+import pytest
+
+from repro.devices import gate_leakage_per_gate
+from repro.technology import (GATE_DIELECTRICS, get_node,
+                              rc_improvement)
+from repro.interconnect import WireGeometry, wire_delay
+
+from conftest import print_table
+
+
+def generate_materials_ablation():
+    # (a) high-k films at fixed EOT.
+    eot = 1.2e-9
+    highk_rows = [{
+        "material": name,
+        "k": material.k,
+        "physical_nm": material.physical_thickness_for_eot(eot) * 1e9,
+        "leak_suppression_x":
+            material.leakage_suppression_vs_sio2(eot),
+    } for name, material in GATE_DIELECTRICS.items()]
+
+    # (b) library nodes vs the no-barrier-improvement counterfactual.
+    counterfactual_rows = []
+    for name in ("65nm", "45nm", "32nm"):
+        node = get_node(name)
+        baseline = gate_leakage_per_gate(node).gate
+        plain_oxide = node.with_overrides(
+            gate_leak_alpha=get_node("65nm").gate_leak_alpha)
+        counterfactual = gate_leakage_per_gate(plain_oxide).gate
+        counterfactual_rows.append({
+            "node": name,
+            "library_gate_nA": baseline * 1e9,
+            "sio2_only_gate_nA": counterfactual * 1e9,
+            "barrier_saving_x": counterfactual / baseline,
+        })
+
+    # (c) back-end materials: Cu + low-k vs Al + SiO2 on a 1 mm wire.
+    node = get_node("130nm")
+    al_geom = WireGeometry(pitch=node.wire_pitch, dielectric_k=3.9,
+                           resistivity=2.65e-8)
+    cu_geom = WireGeometry(pitch=node.wire_pitch, dielectric_k=2.9,
+                           resistivity=1.68e-8)
+    wire_rows = [{
+        "stack": "Al + SiO2",
+        "delay_1mm_ps": wire_delay(al_geom, 1e-3) * 1e12,
+    }, {
+        "stack": "Cu + low-k (SiOC)",
+        "delay_1mm_ps": wire_delay(cu_geom, 1e-3) * 1e12,
+    }, {
+        "stack": "analytic rho*k ratio",
+        "delay_1mm_ps": wire_delay(al_geom, 1e-3) * 1e12
+        / rc_improvement("Al", "Cu", "SiO2", "SiOC"),
+    }]
+    return highk_rows, counterfactual_rows, wire_rows
+
+
+@pytest.mark.benchmark(group="abl_materials")
+def test_abl_materials(benchmark):
+    highk, counterfactual, wires = benchmark(
+        generate_materials_ablation)
+    print_table("Ablation: gate dielectrics at EOT = 1.2 nm", highk)
+    print_table("Ablation: library barrier step vs SiO2-only "
+                "counterfactual", counterfactual)
+    print_table("Ablation: back-end material stacks (1 mm, 130 nm "
+                "pitch)", wires)
+
+    by_material = {row["material"]: row for row in highk}
+    # Higher k -> physically thicker -> exponentially less leaky.
+    assert by_material["HfO2"]["leak_suppression_x"] > 100.0
+    assert by_material["HfO2"]["leak_suppression_x"] \
+        > by_material["Al2O3"]["leak_suppression_x"] \
+        > by_material["SiO2"]["leak_suppression_x"]
+    assert by_material["SiO2"]["leak_suppression_x"] \
+        == pytest.approx(1.0)
+    # The 45/32 nm barrier step saves decades of gate leakage.
+    by_node = {row["node"]: row for row in counterfactual}
+    assert by_node["65nm"]["barrier_saving_x"] == pytest.approx(1.0)
+    assert by_node["32nm"]["barrier_saving_x"] > 100.0
+    # Cu + low-k: the classic ~2x RC win.
+    ratio = wires[0]["delay_1mm_ps"] / wires[1]["delay_1mm_ps"]
+    assert 1.5 < ratio < 3.0

@@ -1,0 +1,53 @@
+"""Fig. 1: subthreshold current dependency on V_GS and V_DS (DIBL).
+
+Regenerates the I_D(V_GS) family of curves for several V_DS values on
+a 65 nm NMOS device.  Shape criteria: exponential subthreshold region
+with a 60-90 mV/decade-class slope, and curves shifting *up* with
+V_DS (the equivalent V_T decrease the paper describes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices import Mosfet
+from repro.technology import get_node
+
+from conftest import print_table
+
+VDS_VALUES = (0.05, 0.3, 0.6, 1.0)
+
+
+def generate_fig1():
+    node = get_node("65nm")
+    device = Mosfet(node, width=2 * node.feature_size)
+    vgs = np.linspace(0.0, 0.4, 41)
+    curves = {vds: np.asarray(device.ids(vgs, vds))
+              for vds in VDS_VALUES}
+    return node, device, vgs, curves
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01_subthreshold_curves(benchmark):
+    node, device, vgs, curves = benchmark(generate_fig1)
+
+    rows = []
+    for i in range(0, vgs.size, 5):
+        row = {"vgs_V": float(vgs[i])}
+        for vds in VDS_VALUES:
+            row[f"id_A_vds={vds}"] = float(curves[vds][i])
+        rows.append(row)
+    print_table("Fig. 1: I_D vs V_GS for several V_DS (65 nm NMOS)",
+                rows)
+    swing = device.subthreshold_swing() * 1e3
+    print(f"subthreshold swing: {swing:.1f} mV/decade")
+    print(f"DIBL: {node.dibl * 1e3:.0f} mV/V")
+
+    # Shape criterion 1: decade-per-swing exponential slope.
+    assert 60.0 < swing < 110.0
+    # Shape criterion 2: higher V_DS -> higher current at every V_GS
+    # below threshold (monotone DIBL shift).
+    sub_vt = vgs < node.vth
+    for lo, hi in zip(VDS_VALUES, VDS_VALUES[1:]):
+        assert np.all(curves[hi][sub_vt] >= curves[lo][sub_vt])
+    # Shape criterion 3: orders of magnitude between V_GS=0 and V_T.
+    assert curves[0.6][-1] / max(curves[0.6][0], 1e-30) > 1e3

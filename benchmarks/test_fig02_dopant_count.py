@@ -1,0 +1,39 @@
+"""Fig. 2: number of dopant atoms vs channel length.
+
+Shape criteria: count falls ~quadratically with L (W tracking L),
+drops into the countable regime (< a few hundred) below ~32 nm, and
+the relative sqrt(N)/N uncertainty explodes at short L.
+"""
+
+import numpy as np
+import pytest
+
+from repro.technology import get_node
+from repro.variability import dopant_count_vs_length
+
+from conftest import print_table
+
+
+def generate_fig2():
+    node = get_node("65nm")
+    lengths = np.geomspace(20e-9, 1000e-9, 15)
+    return dopant_count_vs_length(node, lengths.tolist())
+
+
+@pytest.mark.benchmark(group="fig02")
+def test_fig02_dopant_count(benchmark):
+    rows = benchmark(generate_fig2)
+    print_table("Fig. 2: dopant atoms vs channel length", rows)
+
+    counts = [row["dopant_count"] for row in rows]
+    lengths = [row["length_nm"] for row in rows]
+    # Monotone increasing with L.
+    assert counts == sorted(counts)
+    # ~quadratic: log-log slope close to 2.
+    slope = np.polyfit(np.log(lengths), np.log(counts), 1)[0]
+    assert slope == pytest.approx(2.0, abs=0.15)
+    # Countable-dopant regime at the short end.
+    assert counts[0] < 500
+    # Relative uncertainty grows as L shrinks.
+    rel = [row["relative_sigma"] for row in rows]
+    assert rel == sorted(rel, reverse=True)

@@ -1,0 +1,48 @@
+"""Fig. 5: max interconnect length for 20 % clock skew vs frequency.
+
+Typical M1/M2 wire in the 100 nm node.  Shape criteria: ~2 mm at
+1 GHz (the paper's quoted anchor), falling with frequency, and
+shrinking further with technology (the GALS argument).
+"""
+
+import numpy as np
+import pytest
+
+from repro.interconnect import (skew_length_sweep,
+                                synchronous_region_trend)
+from repro.technology import all_nodes, get_node
+
+from conftest import print_table
+
+
+def generate_fig5():
+    node = get_node("100nm")
+    frequencies = np.geomspace(0.1e9, 10e9, 13)
+    sweep = skew_length_sweep(node, frequencies.tolist(),
+                              skew_fraction=0.2)
+    trend = synchronous_region_trend(all_nodes(), frequency=1e9)
+    return sweep, trend
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_skew_length(benchmark):
+    sweep, trend = benchmark(generate_fig5)
+    print_table("Fig. 5: max wire length for 20% skew vs f_clk "
+                "(100 nm, M1/M2)", sweep)
+    print_table("Fig. 5b: synchronous-region edge at 1 GHz per node",
+                trend)
+
+    by_freq = {round(row["frequency_GHz"], 2): row for row in sweep}
+    # The paper's anchor: ~2 mm at 1 GHz.
+    one_ghz = min(sweep, key=lambda r: abs(r["frequency_GHz"] - 1.0))
+    assert one_ghz["max_length_mm"] == pytest.approx(2.0, rel=0.4)
+    # Monotone decreasing with frequency.
+    lengths = [row["max_length_mm"] for row in sweep]
+    assert lengths == sorted(lengths, reverse=True)
+    # Repeated wires reach further at high f (linear vs sqrt scaling)
+    # but both shrink.
+    repeated = [row["max_length_repeated_mm"] for row in sweep]
+    assert repeated == sorted(repeated, reverse=True)
+    # Synchronous region shrinks with scaling.
+    regions = [row["max_length_mm"] for row in trend]
+    assert regions == sorted(regions, reverse=True)

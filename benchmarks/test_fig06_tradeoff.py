@@ -1,0 +1,56 @@
+"""Fig. 6: thermal-noise and mismatch limits in the power-speed-
+accuracy trade-off, with real ADC designs overlaid.
+
+Shape criteria: both limits are straight lines in the log-log plane,
+the mismatch limit sits ~1.5-2.5 decades above the thermal one, every
+surveyed converter is above the thermal limit, and the survey clusters
+closest to the mismatch limit ("for untrimmed or uncalibrated
+circuits, the mismatch limit is determining the minimum required
+power").
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analog import limit_gap, survey_vs_limits, tradeoff_plane
+from repro.technology import get_node
+
+from conftest import print_table
+
+
+def generate_fig6():
+    node = get_node("350nm")   # the survey's era
+    speeds = np.geomspace(1e4, 1e10, 13)
+    plane = tradeoff_plane(node, speeds.tolist(), n_bits=10.0)
+    survey = survey_vs_limits(node)
+    return node, plane, survey
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_tradeoff_plane(benchmark):
+    node, plane, survey = benchmark(generate_fig6)
+    print_table("Fig. 6: P limits vs speed at 10 bit", plane)
+    print_table("Fig. 6 overlay: ADC survey vs the two limits",
+                survey,
+                columns=["name", "architecture", "sample_rate_Hz",
+                         "enob", "power_W", "margin_over_mismatch",
+                         "margin_over_thermal"])
+    gap = limit_gap(node)
+    print(f"mismatch/thermal constant gap: {gap:.1f}x "
+          f"({math.log10(gap):.2f} decades)")
+
+    # Limit lines parallel in log-log (constant ratio).
+    ratios = [row["mismatch_limit_W"] / row["thermal_limit_W"]
+              for row in plane]
+    assert max(ratios) == pytest.approx(min(ratios), rel=1e-9)
+    # The famous ~2 decade gap.
+    assert 1.0 < math.log10(gap) < 2.5
+    # Physics: nobody beats kT.
+    assert all(row["margin_over_thermal"] > 1.0 for row in survey)
+    # The cluster hugs the mismatch line, not the thermal one.
+    log_margins_mismatch = [math.log10(row["margin_over_mismatch"])
+                            for row in survey]
+    median_mismatch = sorted(log_margins_mismatch)[len(survey) // 2]
+    assert median_mismatch < math.log10(gap)

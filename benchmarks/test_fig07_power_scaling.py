@@ -1,0 +1,59 @@
+"""Fig. 7: analog power vs technology node at fixed speed + accuracy.
+
+Three series: (a) the hypothetical matching-only trend (power falls as
+A_VT improves), (b) the actual trend with the supply-swing penalty
+(the red curve: flat to rising), (c) eq. 5's ratio form, plus the
+digital contrast curve.  Shape criteria: matching-only falls, actual
+does not fall below ~130 nm, eq. 5 stays near unity per transition,
+digital keeps falling steeply.
+"""
+
+import pytest
+
+from repro.analog import (analog_power_trend, digital_power_trend,
+                          power_ratio)
+from repro.technology import all_nodes
+
+from conftest import print_table
+
+
+def generate_fig7():
+    nodes = all_nodes()
+    analog = analog_power_trend(nodes, speed=100e6, n_bits=10.0,
+                                normalize_to="350nm")
+    digital = digital_power_trend(nodes)
+    eq5 = []
+    for older, newer in zip(nodes, nodes[1:]):
+        eq5.append({
+            "transition": f"{older.name}->{newer.name}",
+            "m_vdd_ratio": older.vdd / newer.vdd,
+            "tox_ratio": older.tox / newer.tox,
+            "eq5_P1_over_P2": power_ratio(older, newer),
+        })
+    return analog, digital, eq5
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_power_scaling(benchmark):
+    analog, digital, eq5 = benchmark(generate_fig7)
+    print_table("Fig. 7: analog power at fixed spec (normalized to "
+                "350 nm)", analog,
+                columns=["node", "vdd_V", "tox_nm",
+                         "power_matching_only_rel", "power_actual_rel"])
+    print_table("Fig. 7 (eq. 5 ratio form, per transition)", eq5)
+    print_table("Fig. 7 contrast: digital power keeps falling",
+                digital)
+
+    # Matching-only: monotone falling (the optimistic dashed line).
+    matching = [row["power_matching_only_rel"] for row in analog]
+    assert matching == sorted(matching, reverse=True)
+    # Actual: no decrease below 130 nm -- the red curve.
+    by_node = {row["node"]: row for row in analog}
+    assert by_node["65nm"]["power_actual_rel"] \
+        >= 0.9 * by_node["130nm"]["power_actual_rel"]
+    assert by_node["32nm"]["power_actual_rel"] >= 0.9
+    # Eq. 5 per-transition ratio near unity ("no real benefit").
+    for row in eq5:
+        assert 0.5 < row["eq5_P1_over_P2"] < 2.0
+    # Digital falls by more than 10x across the roadmap.
+    assert digital[-1]["digital_power_rel"] < 0.1

@@ -1,0 +1,54 @@
+"""Fig. 10: SWAN-simulated vs "measured" substrate noise on a large
+SoC over a 0-100 ns window.
+
+The paper's 220 kgate WLAN SoC measurement is replaced by a detailed
+reference simulation (per-event full waveforms with jitter and
+ringing) of the same synthetic modem-like datapath; the SWAN
+macromodel flow is compared against it.  Shape criteria -- the
+paper's own accuracy numbers: RMS error <= 20 %, peak-to-peak error
+<= 4 %, with mV-scale noise.
+"""
+
+import pytest
+
+from repro.digital import clocked_datapath, estimate_gates_for_target
+from repro.signal_integrity import comparison_report
+from repro.substrate import run_swan_experiment
+from repro.technology import get_node
+
+from conftest import print_table
+
+TARGET_GATES = 4000      # scaled stand-in for the 220 kgate SoC
+CLOCK = 50e6             # 5 cycles in the 100 ns window
+
+
+def generate_fig10():
+    node = get_node("350nm")   # the paper's 0.35 um 2P5M EPI process
+    n_slices = estimate_gates_for_target(TARGET_GATES, adder_width=8)
+    netlist = clocked_datapath(node, adder_width=8,
+                               n_slices=n_slices, seed=2)
+    comparison = run_swan_experiment(
+        netlist, n_cycles=5, clock_frequency=CLOCK,
+        mesh_resolution=24, dt=25e-12, seed=0)
+    return netlist, comparison
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_swan_accuracy(benchmark):
+    netlist, comparison = benchmark(generate_fig10)
+    report = comparison_report(comparison.swan, comparison.reference)
+    report["gates"] = netlist.gate_count()
+    print_table("Fig. 10: SWAN vs reference substrate noise "
+                "(0-100 ns)", [report],
+                columns=["gates", "reference_rms_mV", "test_rms_mV",
+                         "reference_p2p_mV", "test_p2p_mV",
+                         "rms_error", "p2p_error", "correlation"])
+
+    # The paper's headline accuracy numbers.
+    assert comparison.rms_error <= 0.20
+    assert comparison.peak_to_peak_error <= 0.04
+    assert comparison.passes_paper_accuracy()
+    # mV-scale substrate noise, like the measured SoC.
+    assert 0.05e-3 < comparison.reference.peak_to_peak < 1.0
+    # The waveforms track each other, not just their aggregates.
+    assert report["correlation"] > 0.8

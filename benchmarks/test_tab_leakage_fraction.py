@@ -1,0 +1,45 @@
+"""Tab B: leakage fraction of total power per node (sections 2.1-2.2).
+
+A 1 Mgate design at operating temperature (85 C), 10 % activity,
+1 GHz.  Shape criterion: the static share of total power is negligible
+above 130 nm and crosses ~10-50 % around the 65 nm marker -- the
+"leakage can no longer be ignored" claim.
+"""
+
+import pytest
+
+from repro.digital import leakage_fraction_trend
+from repro.technology import all_nodes
+
+from conftest import print_table
+
+OPERATING_TEMPERATURE = 358.0   # 85 C junction
+
+
+def generate_tab_b():
+    hot_nodes = [node.at_temperature(OPERATING_TEMPERATURE)
+                 for node in all_nodes()]
+    at_1ghz = leakage_fraction_trend(hot_nodes, n_gates=1_000_000,
+                                     frequency=1e9)
+    at_node_speed = leakage_fraction_trend(hot_nodes,
+                                           n_gates=1_000_000)
+    return at_1ghz, at_node_speed
+
+
+@pytest.mark.benchmark(group="tab_b")
+def test_tab_leakage_fraction(benchmark):
+    at_1ghz, at_node_speed = benchmark(generate_tab_b)
+    print_table("Tab B: leakage fraction, 1 Mgate @ 1 GHz, 85 C",
+                at_1ghz)
+    print_table("Tab B': same, clocked at each node's own speed",
+                at_node_speed)
+
+    fractions = [row["leakage_fraction"] for row in at_1ghz]
+    assert fractions == sorted(fractions)
+    by_node = {row["node"].split("@")[0]: row for row in at_1ghz}
+    # Negligible in the micron era...
+    assert by_node["180nm"]["leakage_fraction"] < 0.01
+    # ...no longer ignorable at the 65 nm marker...
+    assert 0.05 < by_node["65nm"]["leakage_fraction"] < 0.5
+    # ...dominant beyond it.
+    assert by_node["32nm"]["leakage_fraction"] > 0.5

@@ -1,0 +1,42 @@
+"""Tab C: the worst-case-sizing energy penalty (section 3.1).
+
+Per node, a stage is sized once for the nominal V_T and once for the
+3-sigma worst case (using the node's own minimum-device sigma); the
+dynamic-energy overhead of the worst-case sizing is the penalty every
+die pays.  Shape criterion: the penalty grows monotonically toward
+the nanometre nodes -- "the effect of worst-case oversized design on
+the energy consumption will be significant".
+"""
+
+import pytest
+
+from repro.digital import worst_case_energy_trend
+from repro.technology import all_nodes
+
+from conftest import print_table
+
+
+def generate_tab_c():
+    three_sigma = worst_case_energy_trend(all_nodes(), n_sigma=3.0)
+    four_sigma = worst_case_energy_trend(all_nodes(), n_sigma=4.0)
+    return three_sigma, four_sigma
+
+
+@pytest.mark.benchmark(group="tab_c")
+def test_tab_worstcase_energy(benchmark):
+    three_sigma, four_sigma = benchmark(generate_tab_c)
+    print_table("Tab C: worst-case sizing penalty (3 sigma)",
+                three_sigma)
+    print_table("Tab C': worst-case sizing penalty (4 sigma)",
+                four_sigma)
+
+    penalties = [row["energy_penalty_pct"] for row in three_sigma]
+    # Grows toward nanometre nodes.
+    assert penalties[-1] > penalties[0]
+    assert penalties[-1] > 5.0
+    # The variability driver grows monotonically.
+    pressure = [row["sigma_over_overdrive"] for row in three_sigma]
+    assert pressure == sorted(pressure)
+    # Guard-banding harder costs more.
+    for r3, r4 in zip(three_sigma, four_sigma):
+        assert r4["energy_penalty_pct"] >= r3["energy_penalty_pct"]

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The paper's central question, end to end: does the design road end
+at the 65 nm marker?
+
+Builds the full per-node scorecard -- gate speedup vs the four taxes
+(leakage fraction, worst-case-sizing energy, analog power stagnation,
+shrinking synchronous regions, dying VTCMOS) -- and prints where the
+composite benefit of the next node stops being obvious.
+
+Run:  python examples/end_of_road_study.py
+"""
+
+from repro.core import Roadmap, end_of_road_table, find_diminishing_node
+from repro.technology import all_nodes
+
+
+def print_row(row) -> None:
+    benefit = row.get("benefit_vs_prev")
+    print(f"  {row['node']:>6} | FO4 {row['fo4_ps']:6.2f} ps"
+          f" | leak {row['leakage_fraction'] * 100:5.1f} %"
+          f" | margin +{row['wc_energy_penalty'] * 100 - 100:4.1f} %"
+          f" | analog x{row['analog_power_rel']:4.2f}"
+          f" | sync {row['sync_region_mm']:5.2f} mm"
+          f" | body {row['body_bias_mV']:4.0f} mV"
+          + (f" | benefit {benefit:5.2f}" if benefit else " |"))
+
+
+def main() -> None:
+    nodes = all_nodes()
+    print("Per-node 'end of the road' scorecard "
+          "(85 C, 1 GHz, 10-bit/100 MS/s analog reference):")
+    print("  benefit > 1: the next node still pays off; "
+          "the taxes claw back the rest.\n")
+    for row in end_of_road_table(nodes):
+        print_row(row)
+
+    threshold = 1.1
+    verdict = find_diminishing_node(nodes, threshold=threshold)
+    print(f"\nFirst transition with composite benefit < {threshold}: "
+          f"{verdict or 'none in the library range'}")
+
+    # Project past the library with the roadmap trends: what would
+    # 22 nm and 16 nm look like under the same models?
+    roadmap = Roadmap()
+    projected = roadmap.project_series([22e-9, 16e-9])
+    print("\nProjected beyond the library (roadmap trend fit):")
+    for row in end_of_road_table(list(nodes) + projected)[-2:]:
+        print_row(row)
+
+    print("\nReading: raw gate speed keeps improving, but by 65 nm the"
+          "\nleakage fraction is first-order, margining burns real"
+          "\nenergy, analog power has stopped scaling and VTCMOS has"
+          "\nlost most of its lever -- the paper's 'end of the road?'"
+          "\nquestion made quantitative.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: a tour of the repro public API.
+
+Walks the paper's storyline in code: pick a technology node, look at
+its devices (drive, leakage, variability), a digital gate (delay,
+energy), a wire (eq. 3), and the analog power limits (eq. 4) -- the
+building blocks every deeper example composes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.technology import get_node
+from repro.devices import Mosfet, device_leakage
+from repro.digital import fo4_delay_model
+from repro.interconnect import WireGeometry, wire_delay
+from repro.analog import minimum_power, accuracy_from_bits
+
+
+def main() -> None:
+    # --- 1. Technology nodes ------------------------------------------------
+    node = get_node("65nm")
+    print("Technology node:", node.name)
+    for key, value in node.summary().items():
+        print(f"  {key:>22}: {value:.4g}")
+
+    # --- 2. A transistor in that node -------------------------------------
+    device = Mosfet(node, width=2 * node.feature_size)
+    print("\nMinimum-ish NMOS (W = 2L):")
+    print(f"  on current   : {device.on_current() * 1e6:8.1f} uA")
+    print(f"  off current  : {device.off_current() * 1e9:8.2f} nA "
+          f"(eq. 1 with DIBL)")
+    print(f"  subthreshold : {device.subthreshold_swing() * 1e3:8.1f} "
+          f"mV/decade")
+    budget = device_leakage(node, device.width)
+    print(f"  gate leakage : {budget.gate * 1e9:8.3f} nA (eq. 2)")
+    print(f"  sigma V_T    : {device.sigma_vth_mismatch() * 1e3:8.1f} mV"
+          f" (Pelgrom)")
+
+    # Hot silicon is where leakage actually hurts.
+    hot = node.at_temperature(358.0)
+    hot_device = Mosfet(hot, width=2 * hot.feature_size)
+    print(f"  off current @85C: {hot_device.off_current() * 1e9:.1f} nA "
+          f"({hot_device.off_current() / device.off_current():.0f}x "
+          f"the 27C value)")
+
+    # --- 3. A digital gate --------------------------------------------------
+    fo4 = fo4_delay_model(node)
+    print("\nFO4 inverter:")
+    print(f"  delay             : {fo4.delay() * 1e12:6.2f} ps")
+    print(f"  +50mV V_T shift   : "
+          f"{(fo4.delay(vth=node.vth + 0.05) / fo4.delay() - 1) * 100:6.1f}"
+          f" % slower (Fig. 4's effect)")
+
+    # --- 4. A wire (eq. 3) ---------------------------------------------------
+    geom = WireGeometry.for_node(node, layer=1)
+    for length_mm in (0.1, 1.0, 5.0):
+        delay = wire_delay(geom, length_mm * 1e-3)
+        print(f"  {length_mm:4.1f} mm M1 wire delay: "
+              f"{delay * 1e12:9.1f} ps")
+
+    # --- 5. The analog power floor (eq. 4) ----------------------------------
+    accuracy = accuracy_from_bits(10.0)
+    limits = minimum_power(100e6, accuracy, node)
+    print("\n10-bit, 100 MS/s analog block (eq. 4 limits):")
+    print(f"  thermal-noise floor : {limits['thermal_W'] * 1e3:8.3f} mW")
+    print(f"  mismatch floor      : {limits['mismatch_W'] * 1e3:8.3f} mW"
+          f"  <- binds for untrimmed circuits (Fig. 6)")
+
+
+if __name__ == "__main__":
+    main()

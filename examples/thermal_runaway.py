@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Electrothermal feedback: when leakage starts cooking the die.
+
+Couples the leakage models (eq. 1 at temperature) with a die thermal
+model: leakage heats the junction, heat multiplies the leakage.  Shows
+the self-consistent operating point per node, the runaway boundary as
+a cooling budget, and a floorplan hotspot map -- the thermal face of
+the paper's 'end of the road' question.
+
+Run:  python examples/thermal_runaway.py
+"""
+
+from repro.technology import all_nodes, get_node
+from repro.thermal import (ThermalMesh, ThermalStack,
+                           fixed_die_electrothermal_trend,
+                           runaway_rth_threshold,
+                           solve_operating_point)
+
+
+def main() -> None:
+    # --- 1. Same die, every node: the broken power-density promise ----
+    stack = ThermalStack(rth_junction_to_ambient=2.0)
+    print("50 mm^2 die, fully packed, node-speed clock, "
+          "Rth = 2 K/W, 45 C ambient:")
+    print(f"  {'node':>6} | {'gates':>8} | {'clock':>7} | "
+          f"{'Tj':>6} | {'density':>11} | {'leak amp':>8}")
+    for row in fixed_die_electrothermal_trend(all_nodes(),
+                                              stack=stack):
+        tag = "  RUNAWAY" if row["runaway"] else ""
+        print(f"  {row['node']:>6} | {row['n_gates_M']:6.1f} M | "
+              f"{row['f_clk_GHz']:4.1f} GHz | "
+              f"{row['junction_C']:4.0f} C | "
+              f"{row['power_density_W_cm2']:7.1f} W/cm2 | "
+              f"{row['feedback_amplification']:6.1f} x{tag}")
+    print("  -> full scaling promised constant power density; "
+          "leakage ends that promise at the smallest nodes.")
+
+    # --- 2. The cooling budget per node --------------------------------
+    print("\nPackage thermal resistance above which a 1 Mgate, 1 GHz "
+          "design runs away:")
+    for name in ("130nm", "90nm", "65nm", "45nm", "32nm"):
+        threshold = runaway_rth_threshold(get_node(name))
+        print(f"  {name:>6}: Rth < {threshold:6.0f} K/W required")
+    print("  -> the same design needs an ever better (more expensive) "
+          "package.")
+
+    # --- 3. A hotspot map ------------------------------------------------
+    node = get_node("65nm")
+    # A dense digital block: 8 Mgates at 3 GHz in one corner.
+    result = solve_operating_point(node, n_gates=8_000_000,
+                                   frequency=3e9, stack=stack)
+    mesh = ThermalMesh(7e-3, 7e-3, nx=14, ny=14, stack=stack)
+    # Digital block bottom-left at full power, analog corner quiet.
+    power = mesh.block_power_map([
+        (0.0, 0.0, 4e-3, 4e-3, result.total_power),
+        (5e-3, 5e-3, 7e-3, 7e-3, 0.05),
+    ])
+    temperatures = mesh.solve(power)
+    index, peak = mesh.hotspot(power)
+    analog_t = temperatures[mesh.node_at(6e-3, 6e-3)]
+    print(f"\nFloorplan thermal map at {node.name} "
+          f"({result.total_power:.1f} W digital block):")
+    print(f"  digital hotspot : {peak - 273.15:5.1f} C")
+    print(f"  analog corner   : {analog_t - 273.15:5.1f} C")
+    print(f"  gradient        : {peak - analog_t:5.1f} K across the "
+          f"die")
+    print("\nA die-wide thermal gradient is itself a mixed-signal "
+          "coupling channel\n(section 4.3's 'thermal interactions'): "
+          "matched pairs straddling it see\nmillivolt-class offsets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,170 @@
+"""Command-line interface: quick reports from the terminal.
+
+Usage::
+
+    python -m repro nodes                 # the built-in node library
+    python -m repro node 65nm             # one node's full parameter set
+    python -m repro scorecard             # the end-of-road table
+    python -m repro leakage               # Tab B leakage fractions
+    python -m repro figures               # index of figure benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _print_table(rows, columns=None) -> None:
+    if not rows:
+        print("(no rows)")
+        return
+    columns = columns or list(rows[0].keys())
+    header = " | ".join(f"{c:>18}" for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            cells.append(f"{value:>18.5g}" if isinstance(value, float)
+                         else f"{value!s:>18}")
+        print(" | ".join(cells))
+
+
+def cmd_nodes(_args) -> int:
+    from .technology import all_nodes
+    rows = []
+    for node in all_nodes():
+        row = {"node": node.name}
+        row.update(node.summary())
+        rows.append(row)
+    _print_table(rows, columns=["node", "vdd_V", "vth_V", "tox_nm",
+                                "wire_pitch_nm", "overdrive_V",
+                                "sigma_vt_min_mV", "body_factor"])
+    return 0
+
+
+def cmd_node(args) -> int:
+    from .technology import get_node
+    try:
+        node = get_node(args.name)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 1
+    print(node)
+    for key, value in node.summary().items():
+        print(f"  {key:>22}: {value:.5g}")
+    return 0
+
+
+def cmd_scorecard(args) -> int:
+    from .core import end_of_road_table
+    from .technology import all_nodes
+    rows = end_of_road_table(all_nodes(),
+                             operating_temperature=args.temperature)
+    _print_table(rows, columns=["node", "fo4_ps", "leakage_fraction",
+                                "wc_energy_penalty", "analog_power_rel",
+                                "sync_region_mm", "body_bias_mV",
+                                "benefit_vs_prev"])
+    return 0
+
+
+def cmd_leakage(args) -> int:
+    from .digital import leakage_fraction_trend
+    from .technology import all_nodes
+    hot = [node.at_temperature(args.temperature)
+           for node in all_nodes()]
+    rows = leakage_fraction_trend(hot, n_gates=args.gates,
+                                  frequency=args.frequency)
+    _print_table(rows)
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .core.report import generate_report, write_report
+    if args.output:
+        write_report(args.output,
+                     operating_temperature=args.temperature)
+        print(f"report written to {args.output}")
+    else:
+        import sys as _sys
+        generate_report(stream=_sys.stdout,
+                        operating_temperature=args.temperature)
+    return 0
+
+
+def cmd_figures(_args) -> int:
+    index = [
+        ("fig01", "subthreshold I(V_GS, V_DS) with DIBL (eq. 1)"),
+        ("fig02", "dopant atoms vs channel length"),
+        ("fig03", "MC source/drain dopant placement -> L_eff"),
+        ("fig04", "V_T variation vs gate delay"),
+        ("fig05", "max wire length for 20% clock skew"),
+        ("fig06", "thermal/mismatch limits + ADC survey (eq. 4)"),
+        ("fig07", "analog power vs node at fixed spec (eq. 5)"),
+        ("fig08", "AMGIE/LAYLA detector front-end synthesis"),
+        ("fig09", "VCO FM spurs from substrate noise"),
+        ("fig10", "SWAN vs reference substrate noise accuracy"),
+        ("tab_scaling_laws", "full-scaling consequences (Tab A)"),
+        ("tab_leakage_fraction", "leakage fraction per node (Tab B)"),
+        ("tab_worstcase_energy", "worst-case sizing penalty (Tab C)"),
+        ("tab_body_bias", "VTCMOS effectiveness (Tab D)"),
+        ("abl_*", "ablations: substrate mitigation, leakage shootout,"
+                  " materials, GALS/energy optimum, calibration/masks"),
+    ]
+    print("Figure benchmarks (run: pytest benchmarks/test_<id>*.py "
+          "--benchmark-only -s):")
+    for name, description in index:
+        print(f"  {name:>22}: {description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="65 nm CMOS 'end of the road?' analysis toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("nodes", help="list the built-in technology nodes"
+                   ).set_defaults(func=cmd_nodes)
+
+    node_parser = sub.add_parser("node", help="show one node in detail")
+    node_parser.add_argument("name", help="e.g. 65nm")
+    node_parser.set_defaults(func=cmd_node)
+
+    score_parser = sub.add_parser(
+        "scorecard", help="the end-of-the-road table")
+    score_parser.add_argument("--temperature", type=float,
+                              default=358.0, help="junction K")
+    score_parser.set_defaults(func=cmd_scorecard)
+
+    leak_parser = sub.add_parser(
+        "leakage", help="leakage fraction per node (Tab B)")
+    leak_parser.add_argument("--gates", type=int, default=1_000_000)
+    leak_parser.add_argument("--frequency", type=float, default=1e9)
+    leak_parser.add_argument("--temperature", type=float, default=358.0)
+    leak_parser.set_defaults(func=cmd_leakage)
+
+    report_parser = sub.add_parser(
+        "report", help="full markdown reproduction report")
+    report_parser.add_argument("--output", default=None,
+                               help="write to a file instead of stdout")
+    report_parser.add_argument("--temperature", type=float,
+                               default=358.0)
+    report_parser.set_defaults(func=cmd_report)
+
+    sub.add_parser("figures", help="index of figure benchmarks"
+                   ).set_defaults(func=cmd_figures)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

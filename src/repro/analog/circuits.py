@@ -1,0 +1,318 @@
+"""Analytic analog circuit models: the synthesis "evaluation engines".
+
+The paper (section 4.2) describes AMGIE-class synthesis as "powerful
+numerical optimization engines coupled to evaluation engines that
+qualify the merit of some evolving analog circuit".  These classes are
+those evaluation engines: closed-form performance models of
+
+* a single-stage OTA (5-transistor, for general sizing demos),
+* a two-stage Miller OTA, and
+* a charge-sensitive amplifier + CR-RC shaper front-end -- the
+  particle/radiation detector circuit of Fig. 8.
+
+All use the compact device model for bias-point quantities, so the
+numbers respond to the technology node realistically (supply, V_T,
+matching, gate leakage).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.constants import kt_energy, ELECTRON_CHARGE
+from ..technology.node import TechnologyNode
+from ..devices.mosfet import DeviceType, Mosfet
+from ..variability.pelgrom import sigma_delta_vth
+
+
+@dataclass
+class OtaDesign:
+    """Free variables of a single-stage (5T) OTA sizing.
+
+    All widths/lengths in metres, current in amperes.
+    """
+
+    input_width: float
+    input_length: float
+    load_width: float
+    load_length: float
+    tail_current: float
+
+    def validate(self, node: TechnologyNode) -> None:
+        """Raise ValueError for physically meaningless sizings."""
+        minimum = node.feature_size
+        for name in ("input_width", "input_length", "load_width",
+                     "load_length"):
+            if getattr(self, name) < minimum:
+                raise ValueError(
+                    f"{name} below feature size {minimum:.2e} m")
+        if self.tail_current <= 0:
+            raise ValueError("tail_current must be positive")
+
+
+@dataclass(frozen=True)
+class OtaPerformance:
+    """Evaluated performance of an OTA sizing."""
+
+    gain_db: float
+    gbw_hz: float
+    phase_margin_deg: float
+    slew_rate: float            # V/s
+    input_noise_rms: float      # V over the GBW band
+    offset_sigma: float         # V
+    power: float                # W
+    area: float                 # m^2
+    swing: float                # V output swing
+
+    def meets(self, spec: Dict[str, float]) -> bool:
+        """Check a spec dict, e.g. {"gain_db": 60, "gbw_hz": 50e6}."""
+        checks = {
+            "gain_db": self.gain_db >= spec.get("gain_db", -math.inf),
+            "gbw_hz": self.gbw_hz >= spec.get("gbw_hz", 0.0),
+            "phase_margin_deg": self.phase_margin_deg
+            >= spec.get("phase_margin_deg", 0.0),
+            "slew_rate": self.slew_rate >= spec.get("slew_rate", 0.0),
+            "power": self.power <= spec.get("power", math.inf),
+            "offset_sigma": self.offset_sigma
+            <= spec.get("offset_sigma", math.inf),
+        }
+        return all(checks.values())
+
+
+class SingleStageOta:
+    """Evaluation engine for the 5-transistor OTA."""
+
+    def __init__(self, node: TechnologyNode, load_capacitance: float):
+        if load_capacitance <= 0:
+            raise ValueError("load_capacitance must be positive")
+        self.node = node
+        self.load_capacitance = load_capacitance
+
+    def _bias_point(self, design: OtaDesign) -> Dict[str, float]:
+        node = self.node
+        from ..core.constants import thermal_voltage
+        phi_t = thermal_voltage(node.temperature)
+        # Weak inversion caps gm at I/(n*phi_t); the square law would
+        # otherwise promise unbounded gm/I as V_ov -> 0, which sizing
+        # optimizers exploit mercilessly.
+        gm_cap = 1.0 / (node.subthreshold_n * phi_t)
+        half_current = design.tail_current / 2.0
+        # gm from the alpha-power model at the operating overdrive.
+        beta_in = (node.mobility_n * node.cox
+                   * design.input_width / design.input_length)
+        vov_in = math.sqrt(max(2.0 * half_current / beta_in, 1e-12))
+        vov_in = max(vov_in, 2.0 * node.subthreshold_n * phi_t)
+        gm_in = min(2.0 * half_current / vov_in,
+                    gm_cap * half_current)
+        beta_load = (node.mobility_p * node.cox
+                     * design.load_width / design.load_length)
+        vov_load = math.sqrt(max(2.0 * half_current / beta_load, 1e-12))
+        vov_load = max(vov_load, 2.0 * node.subthreshold_n * phi_t)
+        gm_load = min(2.0 * half_current / vov_load,
+                      gm_cap * half_current)
+        # Output conductance via early voltage ~ 10 V/um of length.
+        early_per_length = 1.0e7  # V/m
+        gds = half_current / (early_per_length * design.input_length) \
+            + half_current / (early_per_length * design.load_length)
+        return {
+            "gm_in": gm_in, "gm_load": gm_load, "gds": gds,
+            "vov_in": vov_in, "vov_load": vov_load,
+            "half_current": half_current,
+        }
+
+    def evaluate(self, design: OtaDesign) -> OtaPerformance:
+        """Full performance evaluation of a sizing."""
+        design.validate(self.node)
+        node = self.node
+        bias = self._bias_point(design)
+        gain = bias["gm_in"] / max(bias["gds"], 1e-15)
+        gbw = bias["gm_in"] / (2.0 * math.pi * self.load_capacitance)
+        # Non-dominant pole at the current-mirror node.
+        mirror_cap = node.cox * design.load_width * design.load_length * 2.0
+        pole2 = bias["gm_load"] / (2.0 * math.pi * max(mirror_cap, 1e-18))
+        phase_margin = 90.0 - math.degrees(math.atan(gbw / pole2))
+        slew = design.tail_current / self.load_capacitance
+        # Input-referred noise integrated over the closed-loop band:
+        # v_rms^2 = (4kT*gamma*2/gm) * (pi/2 * GBW) with gamma ~ 1.
+        noise_psd = 8.0 * kt_energy(node.temperature) / bias["gm_in"]
+        noise_rms = math.sqrt(noise_psd * math.pi / 2.0 * gbw)
+        offset = math.sqrt(
+            sigma_delta_vth(node, design.input_width,
+                            design.input_length) ** 2
+            + (sigma_delta_vth(node, design.load_width,
+                               design.load_length)
+               * bias["gm_load"] / bias["gm_in"]) ** 2)
+        power = node.vdd * design.tail_current * 1.25  # + bias branch
+        area = 2.0 * (design.input_width * design.input_length
+                      + design.load_width * design.load_length) * 3.0
+        swing = node.vdd - bias["vov_in"] - 2.0 * bias["vov_load"]
+        return OtaPerformance(
+            gain_db=20.0 * math.log10(max(gain, 1e-12)),
+            gbw_hz=gbw,
+            phase_margin_deg=phase_margin,
+            slew_rate=slew,
+            input_noise_rms=noise_rms,
+            offset_sigma=offset,
+            power=power,
+            area=area,
+            swing=max(swing, 0.0),
+        )
+
+
+class MillerOta:
+    """Evaluation engine for the two-stage Miller-compensated OTA."""
+
+    def __init__(self, node: TechnologyNode, load_capacitance: float,
+                 compensation_capacitance: Optional[float] = None):
+        if load_capacitance <= 0:
+            raise ValueError("load_capacitance must be positive")
+        self.node = node
+        self.load_capacitance = load_capacitance
+        self.compensation = (compensation_capacitance
+                             if compensation_capacitance is not None
+                             else 0.3 * load_capacitance)
+
+    def evaluate(self, design: OtaDesign,
+                 second_stage_current_ratio: float = 4.0) -> OtaPerformance:
+        """Evaluate with the second stage scaled off the tail current."""
+        design.validate(self.node)
+        stage1 = SingleStageOta(self.node, self.compensation)
+        perf1 = stage1.evaluate(design)
+        node = self.node
+        from ..core.constants import thermal_voltage
+        phi_t = thermal_voltage(node.temperature)
+        i2 = second_stage_current_ratio * design.tail_current
+        beta2 = (node.mobility_n * node.cox
+                 * 4.0 * design.input_width / design.input_length)
+        vov2 = max(math.sqrt(max(2.0 * i2 / beta2, 1e-12)),
+                   2.0 * node.subthreshold_n * phi_t)
+        gm2 = min(2.0 * i2 / vov2,
+                  i2 / (node.subthreshold_n * phi_t))
+        gain2 = gm2 * 1.0e7 * design.input_length / i2
+        pole2 = gm2 / (2.0 * math.pi * self.load_capacitance)
+        gbw = perf1.gbw_hz
+        phase_margin = 90.0 - math.degrees(math.atan(gbw / pole2))
+        return OtaPerformance(
+            gain_db=perf1.gain_db + 20.0 * math.log10(max(gain2, 1e-12)),
+            gbw_hz=gbw,
+            phase_margin_deg=phase_margin,
+            slew_rate=min(perf1.slew_rate,
+                          i2 / self.load_capacitance),
+            input_noise_rms=perf1.input_noise_rms,
+            offset_sigma=perf1.offset_sigma,
+            power=node.vdd * (design.tail_current * 1.25 + i2),
+            area=perf1.area * 2.5,
+            swing=max(node.vdd - 2.0 * vov2, 0.0),
+        )
+
+
+@dataclass
+class DetectorFrontendDesign:
+    """Sizing of the charge-sensitive amplifier + shaper (Fig. 8)."""
+
+    input_width: float
+    input_length: float
+    feedback_capacitance: float     # F
+    shaper_time_constant: float     # s
+    drain_current: float            # A
+
+    def validate(self, node: TechnologyNode) -> None:
+        """Sanity-check the free variables."""
+        if self.input_width < node.feature_size \
+                or self.input_length < node.feature_size:
+            raise ValueError("input device below feature size")
+        if self.feedback_capacitance <= 0:
+            raise ValueError("feedback_capacitance must be positive")
+        if self.shaper_time_constant <= 0:
+            raise ValueError("shaper_time_constant must be positive")
+        if self.drain_current <= 0:
+            raise ValueError("drain_current must be positive")
+
+
+@dataclass(frozen=True)
+class FrontendPerformance:
+    """Detector front-end figures of merit."""
+
+    charge_gain: float          # V/C at the shaper output
+    peaking_time: float         # s
+    enc_electrons: float        # equivalent noise charge [e- rms]
+    power: float                # W
+    area: float                 # m^2
+
+    def meets(self, spec: Dict[str, float]) -> bool:
+        """Spec check, e.g. {"enc_electrons": 500, "power": 2e-3}."""
+        return (self.enc_electrons <= spec.get("enc_electrons", math.inf)
+                and self.power <= spec.get("power", math.inf)
+                and self.peaking_time
+                <= spec.get("peaking_time", math.inf)
+                and self.charge_gain >= spec.get("charge_gain", 0.0))
+
+
+class DetectorFrontend:
+    """Evaluation engine for a CSA + CR-RC shaper channel.
+
+    Standard ENC decomposition (series white + parallel shot noise):
+
+        ENC^2 = (C_tot^2 * 4kT*gamma/gm) * A1 / tau
+              + (2q*I_leak) * A2 * tau
+
+    with C_tot the detector + input capacitance and tau the shaping
+    time; A1, A2 shaper form factors (~0.92 for CR-RC).
+    """
+
+    FORM_FACTOR_SERIES = 0.92
+    FORM_FACTOR_PARALLEL = 0.92
+
+    def __init__(self, node: TechnologyNode,
+                 detector_capacitance: float = 5e-12,
+                 detector_leakage: float = 1e-9):
+        if detector_capacitance <= 0:
+            raise ValueError("detector_capacitance must be positive")
+        if detector_leakage < 0:
+            raise ValueError("detector_leakage must be non-negative")
+        self.node = node
+        self.detector_capacitance = detector_capacitance
+        self.detector_leakage = detector_leakage
+
+    def evaluate(self, design: DetectorFrontendDesign
+                 ) -> FrontendPerformance:
+        """Evaluate one front-end sizing."""
+        design.validate(self.node)
+        node = self.node
+        from ..core.constants import thermal_voltage
+        phi_t = thermal_voltage(node.temperature)
+        beta = (node.mobility_n * node.cox
+                * design.input_width / design.input_length)
+        vov = max(math.sqrt(max(2.0 * design.drain_current / beta,
+                                1e-12)),
+                  2.0 * node.subthreshold_n * phi_t)
+        gm = min(2.0 * design.drain_current / vov,
+                 design.drain_current / (node.subthreshold_n * phi_t))
+        c_gate = node.cox * design.input_width * design.input_length
+        c_total = self.detector_capacitance + c_gate \
+            + design.feedback_capacitance
+        tau = design.shaper_time_constant
+        kt = kt_energy(node.temperature)
+        series = (c_total ** 2 * 4.0 * kt * (2.0 / 3.0) / gm
+                  * self.FORM_FACTOR_SERIES / tau)
+        parallel = (2.0 * ELECTRON_CHARGE * self.detector_leakage
+                    * self.FORM_FACTOR_PARALLEL * tau)
+        enc_coulomb = math.sqrt(series + parallel)
+        charge_gain = 1.0 / design.feedback_capacitance * math.exp(-1.0)
+        power = node.vdd * design.drain_current * 2.0  # CSA + shaper
+        area = (design.input_width * design.input_length * 4.0
+                + design.feedback_capacitance / (1e-3))  # 1 fF/um^2 caps
+        return FrontendPerformance(
+            charge_gain=charge_gain,
+            peaking_time=tau,
+            enc_electrons=enc_coulomb / ELECTRON_CHARGE,
+            power=power,
+            area=area,
+        )
+
+    def optimal_input_capacitance_ratio(self) -> float:
+        """Classic capacitive matching: C_gate ~ C_det/3 minimizes ENC
+        at fixed current density (used to seed the optimizer)."""
+        return 1.0 / 3.0

@@ -1,0 +1,98 @@
+"""Noise budgets for analog circuits: kT/C, device noise, SNR math."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..core.constants import BOLTZMANN, kt_energy
+
+
+def ktc_noise_voltage(capacitance: float,
+                      temperature: float = 300.0) -> float:
+    """RMS kT/C sampling noise [V] on ``capacitance`` [F]."""
+    if capacitance <= 0:
+        raise ValueError("capacitance must be positive")
+    return math.sqrt(kt_energy(temperature) / capacitance)
+
+
+def capacitance_for_snr(snr_db: float, signal_rms: float,
+                        temperature: float = 300.0,
+                        margin_db: float = 3.0) -> float:
+    """Capacitance [F] for kT/C noise ``margin_db`` below the target
+    noise floor at ``snr_db`` and ``signal_rms`` [V]."""
+    if signal_rms <= 0:
+        raise ValueError("signal_rms must be positive")
+    noise_rms = signal_rms / 10.0 ** ((snr_db + margin_db) / 20.0)
+    return kt_energy(temperature) / noise_rms ** 2
+
+
+def thermal_noise_density_mosfet(gm: float, gamma: float = 2.0 / 3.0,
+                                 temperature: float = 300.0) -> float:
+    """Input-referred thermal noise PSD of a MOSFET [V^2/Hz].
+
+    v_n^2 = 4kT * gamma / gm; gamma rises above 2/3 for short
+    channels (excess noise), another nanometre-era tax.
+    """
+    if gm <= 0:
+        raise ValueError("gm must be positive")
+    return 4.0 * kt_energy(temperature) / 1.0 * gamma / gm
+
+
+def flicker_noise_density(kf: float, cox: float, width: float,
+                          length: float, frequency: float) -> float:
+    """1/f noise PSD [V^2/Hz]: KF / (Cox*W*L*f).
+
+    Area-inverse like mismatch -- the same reason analog devices stay
+    big.
+    """
+    if min(cox, width, length, frequency) <= 0:
+        raise ValueError("all parameters must be positive")
+    return kf / (cox * width * length * frequency)
+
+
+def corner_frequency(kf: float, cox: float, width: float, length: float,
+                     gm: float, gamma: float = 2.0 / 3.0,
+                     temperature: float = 300.0) -> float:
+    """1/f corner [Hz]: where flicker PSD equals thermal PSD."""
+    thermal = thermal_noise_density_mosfet(gm, gamma, temperature)
+    return kf / (cox * width * length * thermal)
+
+
+def snr_from_noise(signal_rms: float, noise_rms: float) -> float:
+    """SNR [dB] of RMS signal over RMS noise."""
+    if signal_rms <= 0 or noise_rms <= 0:
+        raise ValueError("signal and noise must be positive")
+    return 20.0 * math.log10(signal_rms / noise_rms)
+
+
+def enob_from_snr(snr_db: float) -> float:
+    """Effective number of bits: (SNR - 1.76)/6.02."""
+    return (snr_db - 1.76) / 6.02
+
+
+def snr_from_enob(enob: float) -> float:
+    """SNR [dB] of an ``enob``-bit ideal quantizer."""
+    return 6.02 * enob + 1.76
+
+
+def noise_budget(snr_db: float, signal_rms: float,
+                 n_stages: int = 3,
+                 temperature: float = 300.0) -> Dict[str, float]:
+    """Split an SNR target across ``n_stages`` equal contributors.
+
+    Returns the per-stage noise allowance and the implied total
+    sampling capacitance -- the quantity that, multiplied by V^2*f,
+    gives the thermal-limit power of eq. 4.
+    """
+    if n_stages < 1:
+        raise ValueError("n_stages must be >= 1")
+    total_noise = signal_rms / 10.0 ** (snr_db / 20.0)
+    per_stage = total_noise / math.sqrt(n_stages)
+    cap = kt_energy(temperature) / per_stage ** 2
+    return {
+        "total_noise_rms_V": total_noise,
+        "per_stage_noise_rms_V": per_stage,
+        "per_stage_capacitance_F": cap,
+        "total_capacitance_F": cap * n_stages,
+    }

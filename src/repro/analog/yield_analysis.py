@@ -1,0 +1,163 @@
+"""Statistical analog design: parametric yield under process variation.
+
+Section 4.1 closes with: "analog designers have always had to cope
+with process tolerances and mismatches, and have been using
+statistical methods already a long time ago" (Director's statistical
+IC design, [8]).  This module is that methodology on top of the
+evaluation engines: Monte Carlo over inter-die shifts and intra-die
+mismatch, per-spec yield, and the yield-vs-device-area curve that
+justifies why analog transistors stay big.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..technology.node import TechnologyNode
+from ..variability.pelgrom import sigma_delta_beta, sigma_delta_vth
+from ..variability.statistical import MonteCarloSampler, VariationSpec
+from .circuits import OtaDesign, OtaPerformance, SingleStageOta
+
+
+@dataclass(frozen=True)
+class YieldReport:
+    """Per-spec and overall parametric yield of one sizing."""
+
+    n_samples: int
+    overall_yield: float
+    per_spec_yield: Dict[str, float]
+    mean_offset: float          # V (should be ~0)
+    sigma_offset: float         # V (the MC-measured spread)
+
+
+class OtaYieldAnalyzer:
+    """Monte Carlo yield of a single-stage OTA sizing.
+
+    Each sample draws (a) an inter-die V_T shift that moves the bias
+    point (gm, GBW, swing), and (b) intra-die pair mismatch that sets
+    the random offset, then re-evaluates the analytic engine and
+    checks the spec.
+    """
+
+    def __init__(self, node: TechnologyNode, design: OtaDesign,
+                 load_capacitance: float,
+                 variation: VariationSpec = VariationSpec(),
+                 seed: Optional[int] = None):
+        self.node = node
+        self.design = design
+        self.engine = SingleStageOta(node, load_capacitance)
+        self.variation = variation
+        self.rng = np.random.default_rng(seed)
+        self._sampler = MonteCarloSampler(node, variation, seed=seed)
+
+    def sample_performance(self) -> OtaPerformance:
+        """One MC draw of the OTA's performance."""
+        die = self._sampler.sample_die()
+        shifted_node = die.effective_node()
+        engine = SingleStageOta(shifted_node,
+                                self.engine.load_capacitance)
+        nominal = engine.evaluate(self.design)
+        # Replace the analytic offset sigma by an actual draw.
+        sigma_in = sigma_delta_vth(self.node, self.design.input_width,
+                                   self.design.input_length)
+        sigma_beta = sigma_delta_beta(self.node,
+                                      self.design.input_width,
+                                      self.design.input_length)
+        offset = (sigma_in * self.rng.standard_normal()
+                  + 0.1 * sigma_beta * self.rng.standard_normal())
+        return dataclasses.replace(nominal, offset_sigma=abs(offset))
+
+    def run(self, spec: Dict[str, float],
+            n_samples: int = 300) -> YieldReport:
+        """MC yield against ``spec``.
+
+        ``spec`` keys: ``gain_db``/``gbw_hz``/``phase_margin_deg``/
+        ``slew_rate``/``swing`` are minima; ``power``/``offset_sigma``
+        maxima (same convention as :meth:`OtaPerformance.meets`).
+        """
+        if n_samples < 1:
+            raise ValueError("n_samples must be positive")
+        minima = ("gain_db", "gbw_hz", "phase_margin_deg",
+                  "slew_rate", "swing")
+        passes: Dict[str, int] = {key: 0 for key in spec}
+        n_all = 0
+        offsets = np.empty(n_samples)
+        for i in range(n_samples):
+            perf = self.sample_performance()
+            offsets[i] = perf.offset_sigma
+            all_ok = True
+            for key, bound in spec.items():
+                value = getattr(perf, key)
+                ok = value >= bound if key in minima else value <= bound
+                passes[key] += int(ok)
+                all_ok &= ok
+            n_all += int(all_ok)
+        return YieldReport(
+            n_samples=n_samples,
+            overall_yield=n_all / n_samples,
+            per_spec_yield={key: count / n_samples
+                            for key, count in passes.items()},
+            mean_offset=float(offsets.mean()),
+            sigma_offset=float(offsets.std(ddof=1)),
+        )
+
+
+def offset_yield(node: TechnologyNode, width: float, length: float,
+                 offset_limit: float) -> float:
+    """Closed-form offset yield of a differential pair.
+
+    P(|offset| < limit) for offset ~ N(0, A_VT/sqrt(WL)): the
+    analytic backbone of the yield-vs-area trade.
+    """
+    from scipy.stats import norm
+    if offset_limit <= 0:
+        raise ValueError("offset_limit must be positive")
+    sigma = sigma_delta_vth(node, width, length)
+    return float(norm.cdf(offset_limit / sigma)
+                 - norm.cdf(-offset_limit / sigma))
+
+
+def yield_vs_area(node: TechnologyNode, offset_limit: float = 3e-3,
+                  area_factors: Sequence[float] = (1, 2, 4, 8, 16, 32),
+                  base_width: Optional[float] = None,
+                  base_length: Optional[float] = None
+                  ) -> List[Dict[str, float]]:
+    """Offset yield vs input-pair area: why analog devices stay big.
+
+    Doubling W*L improves sigma by sqrt(2); reaching 6-sigma offset
+    yield costs orders of magnitude more area than a minimum device --
+    the quantitative core of section 4.1's area argument.
+    """
+    base_width = base_width if base_width is not None \
+        else 10.0 * node.feature_size
+    base_length = base_length if base_length is not None \
+        else 2.0 * node.feature_size
+    rows = []
+    for factor in area_factors:
+        scale = math.sqrt(factor)
+        width = base_width * scale
+        length = base_length * scale
+        sigma = sigma_delta_vth(node, width, length)
+        rows.append({
+            "area_factor": float(factor),
+            "area_um2": width * length * 1e12,
+            "sigma_offset_mV": sigma * 1e3,
+            "yield": offset_yield(node, width, length, offset_limit),
+            "sigma_level": offset_limit / sigma,
+        })
+    return rows
+
+
+def area_for_offset_yield(node: TechnologyNode, offset_limit: float,
+                          sigma_level: float = 3.0) -> float:
+    """Gate area [m^2] for the pair to meet ``offset_limit`` at
+    ``sigma_level`` confidence."""
+    if offset_limit <= 0 or sigma_level <= 0:
+        raise ValueError("offset_limit and sigma_level must be positive")
+    sigma_needed = offset_limit / sigma_level
+    return (node.avt / sigma_needed) ** 2

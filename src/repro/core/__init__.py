@@ -1,0 +1,42 @@
+"""Core: constants, scaling laws, roadmap projection, end-of-road."""
+
+from . import constants
+from .constants import (
+    BOLTZMANN,
+    ELECTRON_CHARGE,
+    EPSILON_0,
+    ROOM_TEMPERATURE,
+    kt_energy,
+    thermal_voltage,
+)
+from .scaling import (
+    ScalingConsequences,
+    ScalingScenario,
+    effective_scenario,
+    node_scale_factor,
+    noise_margin_trend,
+    scale,
+    scaling_table,
+    voltage_scale_factor,
+)
+from .roadmap import Roadmap, TrendFit, fit_trend
+from .report import generate_report, write_report
+from .endofroad import (
+    NodeScorecard,
+    end_of_road_table,
+    find_diminishing_node,
+    node_scorecard,
+)
+
+__all__ = [
+    "constants",
+    "BOLTZMANN", "ELECTRON_CHARGE", "EPSILON_0", "ROOM_TEMPERATURE",
+    "kt_energy", "thermal_voltage",
+    "ScalingConsequences", "ScalingScenario", "effective_scenario",
+    "node_scale_factor", "noise_margin_trend", "scale", "scaling_table",
+    "voltage_scale_factor",
+    "Roadmap", "TrendFit", "fit_trend",
+    "generate_report", "write_report",
+    "NodeScorecard", "end_of_road_table", "find_diminishing_node",
+    "node_scorecard",
+]

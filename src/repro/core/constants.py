@@ -1,0 +1,173 @@
+"""Physical constants and unit helpers used throughout the library.
+
+All internal computations use SI units (metres, volts, amperes, seconds,
+farads, joules).  The helpers below make intent explicit at call sites,
+e.g. ``nm(65)`` instead of ``65e-9``.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- fundamental constants (CODATA values, SI units) ---------------------
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge [C].
+ELECTRON_CHARGE = 1.602176634e-19
+
+#: Vacuum permittivity [F/m].
+EPSILON_0 = 8.8541878128e-12
+
+#: Relative permittivity of SiO2.
+EPSILON_SIO2 = 3.9
+
+#: Relative permittivity of silicon.
+EPSILON_SI = 11.7
+
+#: Intrinsic carrier concentration of silicon at 300 K [1/m^3].
+N_INTRINSIC_SI = 1.45e16
+
+#: Default junction / operating temperature [K].
+ROOM_TEMPERATURE = 300.0
+
+#: Resistivity of copper [ohm*m].
+RHO_COPPER = 1.68e-8
+
+#: Resistivity of aluminium [ohm*m].
+RHO_ALUMINIUM = 2.65e-8
+
+
+def thermal_voltage(temperature: float = ROOM_TEMPERATURE) -> float:
+    """Return the thermal voltage kT/q [V] at ``temperature`` [K].
+
+    At 300 K this is approximately 25.85 mV.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    return BOLTZMANN * temperature / ELECTRON_CHARGE
+
+
+def kt_energy(temperature: float = ROOM_TEMPERATURE) -> float:
+    """Return the thermal energy kT [J] at ``temperature`` [K]."""
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    return BOLTZMANN * temperature
+
+
+# --- unit helpers ---------------------------------------------------------
+
+def nm(value: float) -> float:
+    """Convert nanometres to metres."""
+    return value * 1e-9
+
+
+def um(value: float) -> float:
+    """Convert micrometres to metres."""
+    return value * 1e-6
+
+
+def mm(value: float) -> float:
+    """Convert millimetres to metres."""
+    return value * 1e-3
+
+
+def to_nm(metres: float) -> float:
+    """Convert metres to nanometres."""
+    return metres * 1e9
+
+
+def to_um(metres: float) -> float:
+    """Convert metres to micrometres."""
+    return metres * 1e6
+
+
+def ps(value: float) -> float:
+    """Convert picoseconds to seconds."""
+    return value * 1e-12
+
+def to_ps(seconds: float) -> float:
+    """Convert seconds to picoseconds."""
+    return seconds * 1e12
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds * 1e9
+
+
+def ghz(value: float) -> float:
+    """Convert gigahertz to hertz."""
+    return value * 1e9
+
+
+def mhz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * 1e6
+
+
+def ff(value: float) -> float:
+    """Convert femtofarads to farads."""
+    return value * 1e-15
+
+
+def to_ff(farads: float) -> float:
+    """Convert farads to femtofarads."""
+    return farads * 1e15
+
+
+def pf(value: float) -> float:
+    """Convert picofarads to farads."""
+    return value * 1e-12
+
+
+def mw(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return value * 1e-3
+
+
+def to_mw(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts * 1e3
+
+
+def uw(value: float) -> float:
+    """Convert microwatts to watts."""
+    return value * 1e-6
+
+
+def db(ratio: float) -> float:
+    """Express a power ratio in decibels (10*log10)."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def db20(ratio: float) -> float:
+    """Express an amplitude ratio in decibels (20*log10)."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 20.0 * math.log10(ratio)
+
+
+def from_db(decibels: float) -> float:
+    """Convert decibels back to a power ratio."""
+    return 10.0 ** (decibels / 10.0)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 1e-3 * 10.0 ** (dbm / 10.0)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm."""
+    if watts <= 0:
+        raise ValueError(f"power must be positive, got {watts}")
+    return 10.0 * math.log10(watts / 1e-3)

@@ -1,0 +1,94 @@
+"""MOS capacitance models used by delay, energy and noise analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.constants import EPSILON_0, EPSILON_SI, ELECTRON_CHARGE
+import math
+
+from ..technology.node import TechnologyNode
+
+
+@dataclass(frozen=True)
+class DeviceCapacitances:
+    """Lumped capacitances of one MOS device [F]."""
+
+    gate: float        # intrinsic gate (channel) capacitance
+    overlap: float     # gate-source + gate-drain overlap
+    junction: float    # source/drain junction (depletion) capacitance
+
+    @property
+    def input_capacitance(self) -> float:
+        """Capacitance seen by a driver at the gate terminal [F]."""
+        return self.gate + self.overlap
+
+    @property
+    def drain_capacitance(self) -> float:
+        """Parasitic load contributed at the drain [F]."""
+        return 0.5 * self.overlap + self.junction
+
+
+def overlap_capacitance(node: TechnologyNode, width: float,
+                        overlap_fraction: float = 0.15) -> float:
+    """Gate-drain + gate-source overlap capacitance [F].
+
+    The overlap length is taken as ``overlap_fraction`` of the channel
+    length on each side.
+    """
+    if not 0 < overlap_fraction < 1:
+        raise ValueError("overlap_fraction must be in (0, 1)")
+    overlap_length = overlap_fraction * node.feature_size
+    return 2.0 * node.cox * width * overlap_length
+
+
+def junction_capacitance(node: TechnologyNode, width: float,
+                         drain_extension: float = None,
+                         bias: float = 0.0) -> float:
+    """Source/drain junction depletion capacitance [F].
+
+    Uses the one-sided abrupt-junction formula with the node doping;
+    reverse ``bias`` [V] widens the depletion region and lowers C.
+    """
+    if drain_extension is None:
+        drain_extension = 3.0 * node.feature_size
+    eps_si = EPSILON_0 * EPSILON_SI
+    built_in = 2.0 * node.fermi_potential
+    depletion = math.sqrt(
+        2.0 * eps_si * (built_in + max(bias, 0.0))
+        / (ELECTRON_CHARGE * node.channel_doping))
+    cj_area = eps_si / depletion
+    area = width * drain_extension
+    perimeter = 2.0 * (width + drain_extension)
+    # Sidewall contribution approximated with the junction depth.
+    return cj_area * area + cj_area * node.junction_depth * perimeter
+
+
+def device_capacitances(node: TechnologyNode, width: float,
+                        length: float = None) -> DeviceCapacitances:
+    """All lumped capacitances of a W x L device."""
+    if length is None:
+        length = node.feature_size
+    if width <= 0 or length <= 0:
+        raise ValueError("device dimensions must be positive")
+    return DeviceCapacitances(
+        gate=node.cox * width * length,
+        overlap=overlap_capacitance(node, width),
+        junction=junction_capacitance(node, width),
+    )
+
+
+def inverter_input_capacitance(node: TechnologyNode, nmos_width: float,
+                               pmos_ratio: float = 2.0) -> float:
+    """Input capacitance of an inverter with the given NMOS width [F]."""
+    nmos = device_capacitances(node, nmos_width)
+    pmos = device_capacitances(node, pmos_ratio * nmos_width)
+    return nmos.input_capacitance + pmos.input_capacitance
+
+
+def inverter_self_load(node: TechnologyNode, nmos_width: float,
+                       pmos_ratio: float = 2.0) -> float:
+    """Self-load (drain parasitics) of an inverter output [F]."""
+    nmos = device_capacitances(node, nmos_width)
+    pmos = device_capacitances(node, pmos_ratio * nmos_width)
+    return nmos.drain_capacitance + pmos.drain_capacitance

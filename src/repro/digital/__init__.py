@@ -1,0 +1,111 @@
+"""Digital circuit design analysis: delay, energy, timing, leakage."""
+
+from .delay import (
+    DelayModel,
+    delay_variability_trend,
+    energy_delay_product,
+    fo4_delay_model,
+    fo4_load,
+)
+from .gates import CELL_TYPES, Cell, CellType, library_report, make_cell
+from .netlist import Instance, Netlist
+from .generators import (
+    array_multiplier,
+    clocked_datapath,
+    decoder,
+    equality_comparator,
+    estimate_gates_for_target,
+    fir_filter,
+    full_adder,
+    kogge_stone_adder,
+    lfsr,
+    random_logic,
+    ripple_adder,
+)
+from .ssta import (
+    SstaResult,
+    StatisticalTimingAnalyzer,
+    corner_vs_statistical_margin,
+    depth_averaging_study,
+    spatially_correlated_ssta,
+)
+from .simulator import (
+    EventDrivenSimulator,
+    SimulationResult,
+    SwitchingEvent,
+    random_stimulus,
+)
+from .timing import (
+    StaticTimingAnalyzer,
+    TimingReport,
+    critical_delay,
+    delay_under_mismatch,
+)
+from .energy import (
+    PowerReport,
+    analytic_power_estimate,
+    leakage_fraction_trend,
+    power_report,
+    switching_energy_of_run,
+)
+from .sizing import (
+    SizingResult,
+    WorstCasePenalty,
+    energy_vs_delay_curve,
+    size_for_delay,
+    stage_delay,
+    stage_energy,
+    worst_case_energy_trend,
+    worst_case_penalty,
+)
+from .voltage_scaling import (
+    EnergyDelayModel,
+    OperatingPoint,
+    minimum_energy_trend,
+)
+from .gals import (
+    GalsPartition,
+    gals_trend,
+    partition_die,
+    single_domain_max_frequency,
+)
+from .leakage_mgmt import (
+    MtcmosResult,
+    PowerGatingResult,
+    VtcmosResult,
+    apply_vtcmos_standby,
+    assign_dual_vth,
+    body_bias_trend_on_design,
+    insert_power_gating,
+    leakage_ratio_for_vth_delta,
+)
+
+__all__ = [
+    "DelayModel", "delay_variability_trend", "energy_delay_product",
+    "fo4_delay_model", "fo4_load",
+    "CELL_TYPES", "Cell", "CellType", "library_report", "make_cell",
+    "Instance", "Netlist",
+    "array_multiplier", "clocked_datapath", "decoder",
+    "equality_comparator", "estimate_gates_for_target", "fir_filter",
+    "full_adder",
+    "kogge_stone_adder", "lfsr", "random_logic", "ripple_adder",
+    "SstaResult", "StatisticalTimingAnalyzer",
+    "corner_vs_statistical_margin", "depth_averaging_study",
+    "spatially_correlated_ssta",
+    "EventDrivenSimulator", "SimulationResult", "SwitchingEvent",
+    "random_stimulus",
+    "StaticTimingAnalyzer", "TimingReport", "critical_delay",
+    "delay_under_mismatch",
+    "PowerReport", "analytic_power_estimate", "leakage_fraction_trend",
+    "power_report", "switching_energy_of_run",
+    "SizingResult", "WorstCasePenalty", "energy_vs_delay_curve",
+    "size_for_delay", "stage_delay", "stage_energy",
+    "worst_case_energy_trend", "worst_case_penalty",
+    "EnergyDelayModel", "OperatingPoint", "minimum_energy_trend",
+    "GalsPartition", "gals_trend", "partition_die",
+    "single_domain_max_frequency",
+    "MtcmosResult", "PowerGatingResult", "VtcmosResult",
+    "apply_vtcmos_standby", "assign_dual_vth",
+    "body_bias_trend_on_design", "insert_power_gating",
+    "leakage_ratio_for_vth_delta",
+]

@@ -1,0 +1,316 @@
+"""Netlist generators: arithmetic blocks, LFSRs and random logic.
+
+These provide the digital workloads the paper's analyses run on --
+most importantly the synthetic "220 kgate WLAN modem" stand-in for the
+SWAN experiment (Fig. 10) and the "250 kgate block" of the VCO
+experiment (Fig. 9), built from repeated arithmetic slices plus random
+control logic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..technology.node import TechnologyNode
+from .gates import CELL_TYPES
+from .netlist import Netlist
+
+
+def full_adder(netlist: Netlist, a: str, b: str, cin: str,
+               prefix: str) -> tuple:
+    """Add a full-adder slice; returns (sum_net, carry_net)."""
+    axb = netlist.add_gate("XOR2", [a, b], f"{prefix}_axb").output
+    s = netlist.add_gate("XOR2", [axb, cin], f"{prefix}_s").output
+    and1 = netlist.add_gate("AND2", [a, b], f"{prefix}_and1").output
+    and2 = netlist.add_gate("AND2", [axb, cin], f"{prefix}_and2").output
+    cout = netlist.add_gate("OR2", [and1, and2], f"{prefix}_cout").output
+    return s, cout
+
+
+def ripple_adder(node: TechnologyNode, width: int = 8,
+                 name: str = "adder") -> Netlist:
+    """N-bit ripple-carry adder."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    netlist = Netlist(node, name)
+    a_bits = netlist.add_inputs(f"a{i}" for i in range(width))
+    b_bits = netlist.add_inputs(f"b{i}" for i in range(width))
+    carry = netlist.add_input("cin")
+    for i in range(width):
+        s, carry = full_adder(netlist, a_bits[i], b_bits[i], carry,
+                              f"fa{i}")
+        netlist.add_output(s)
+    netlist.add_output(carry)
+    return netlist
+
+
+def array_multiplier(node: TechnologyNode, width: int = 4,
+                     name: str = "mult") -> Netlist:
+    """N x N array multiplier (AND partial products + adder array)."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    netlist = Netlist(node, name)
+    a = netlist.add_inputs(f"a{i}" for i in range(width))
+    b = netlist.add_inputs(f"b{i}" for i in range(width))
+    zero = netlist.add_input("zero")
+    # Partial products.
+    pp = [[netlist.add_gate("AND2", [a[i], b[j]],
+                            f"pp_{i}_{j}").output
+           for i in range(width)] for j in range(width)]
+    # Row-by-row carry-save reduction.
+    row = list(pp[0]) + [zero]
+    for j in range(1, width):
+        next_row = [None] * (width + 1)
+        carry = zero
+        for i in range(width):
+            s, carry = full_adder(netlist, row[i + 1], pp[j][i], carry,
+                                  f"fa_{j}_{i}")
+            next_row[i] = s
+        next_row[width] = carry
+        netlist.add_output(row[0])
+        row = next_row
+    for net in row:
+        netlist.add_output(net)
+    return netlist
+
+
+def lfsr(node: TechnologyNode, width: int = 8,
+         taps: Optional[Sequence[int]] = None,
+         name: str = "lfsr") -> Netlist:
+    """Fibonacci LFSR with DFF state (drives pseudo-random activity)."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    taps = list(taps) if taps is not None else [width - 1, width // 2]
+    netlist = Netlist(node, name)
+    enable = netlist.add_input("enable")
+    # State registers; feedback net is defined after the XOR tree.
+    state_nets = [f"q{i}" for i in range(width)]
+    feedback = state_nets[taps[0]]
+    for tap in taps[1:]:
+        feedback = netlist.add_gate(
+            "XOR2", [feedback, state_nets[tap]]).output
+    netlist.add_gate("DFF", [enable, feedback], state_nets[0],
+                     instance_name="ff0")
+    for i in range(1, width):
+        netlist.add_gate("DFF", [enable, state_nets[i - 1]], state_nets[i],
+                         instance_name=f"ff{i}")
+    for net in state_nets:
+        netlist.add_output(net)
+    return netlist
+
+
+def random_logic(node: TechnologyNode, n_gates: int = 100,
+                 n_inputs: int = 8, seed: Optional[int] = None,
+                 name: str = "rand",
+                 sequential_fraction: float = 0.0) -> Netlist:
+    """Random combinational (optionally lightly sequential) logic.
+
+    Gates pick uniformly from the combinational library; each input of
+    a new gate connects to a uniformly random existing net, keeping
+    the netlist acyclic by construction.
+    """
+    if n_gates < 1 or n_inputs < 1:
+        raise ValueError("n_gates and n_inputs must be positive")
+    rng = np.random.default_rng(seed)
+    netlist = Netlist(node, name)
+    nets = netlist.add_inputs(f"in{i}" for i in range(n_inputs))
+    clock_enable = netlist.add_input("en")
+    comb_cells = ["INV", "NAND2", "NOR2", "AND2", "OR2", "XOR2",
+                  "NAND3", "NOR3", "AOI21", "MUX2"]
+    for index in range(n_gates):
+        if rng.random() < sequential_fraction:
+            source = nets[int(rng.integers(len(nets)))]
+            inst = netlist.add_gate("DFF", [clock_enable, source])
+        else:
+            cell_name = comb_cells[int(rng.integers(len(comb_cells)))]
+            n_pins = CELL_TYPES[cell_name].n_inputs
+            pins = [nets[int(rng.integers(len(nets)))]
+                    for _ in range(n_pins)]
+            inst = netlist.add_gate(cell_name, pins)
+        nets.append(inst.output)
+    return netlist
+
+
+def clocked_datapath(node: TechnologyNode, adder_width: int = 8,
+                     n_slices: int = 4, seed: Optional[int] = None,
+                     name: str = "datapath") -> Netlist:
+    """A registered datapath: LFSR sources feeding adder slices.
+
+    This is the workload shape of the SWAN experiments: wide
+    synchronous activity bursts at each clock edge.
+    """
+    rng = np.random.default_rng(seed)
+    netlist = Netlist(node, name)
+    enable = netlist.add_input("en")
+    # Pseudo-random source registers.
+    n_src = adder_width * 2
+    src_nets = [f"src{i}" for i in range(n_src)]
+    feedback = netlist.add_gate(
+        "XNOR2", [src_nets[-1], src_nets[n_src // 2]], "fb").output
+    netlist.add_gate("DFF", [enable, feedback], src_nets[0])
+    for i in range(1, n_src):
+        netlist.add_gate("DFF", [enable, src_nets[i - 1]], src_nets[i])
+    zero = netlist.add_input("zero")
+    for s in range(n_slices):
+        carry = zero
+        perm = rng.permutation(n_src)
+        for i in range(adder_width):
+            a = src_nets[int(perm[i])]
+            b = src_nets[int(perm[(i + adder_width) % n_src])]
+            total, carry = full_adder(netlist, a, b, carry, f"s{s}_fa{i}")
+            netlist.add_gate("DFF", [enable, total], f"s{s}_r{i}")
+            netlist.add_output(f"s{s}_r{i}")
+    return netlist
+
+
+def estimate_gates_for_target(target_gates: int, adder_width: int = 8
+                              ) -> int:
+    """Number of datapath slices giving ~``target_gates`` gates."""
+    gates_per_slice = adder_width * 6  # 5 gates/FA + 1 DFF
+    return max(int(math.ceil(target_gates / gates_per_slice)), 1)
+
+
+def kogge_stone_adder(node: TechnologyNode, width: int = 8,
+                      name: str = "ksadder") -> Netlist:
+    """Kogge-Stone parallel-prefix adder: O(log N) carry depth.
+
+    The fast-adder counterpart to :func:`ripple_adder`; its shallow
+    logic depth makes it the right victim for variability studies
+    (fewer gates to average mismatch over -- see section 3.1).
+    Outputs are named ``s0..s{width-1}`` plus ``cout``.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    netlist = Netlist(node, name)
+    a = netlist.add_inputs(f"a{i}" for i in range(width))
+    b = netlist.add_inputs(f"b{i}" for i in range(width))
+    # Level-0 generate/propagate.
+    g = [netlist.add_gate("AND2", [a[i], b[i]], f"g0_{i}").output
+         for i in range(width)]
+    p = [netlist.add_gate("XOR2", [a[i], b[i]], f"p0_{i}").output
+         for i in range(width)]
+    # Prefix tree: (g, p) o (g', p') = (g + p*g', p*p').
+    level = 1
+    stride = 1
+    while stride < width:
+        new_g = list(g)
+        new_p = list(p)
+        for i in range(stride, width):
+            j = i - stride
+            t = netlist.add_gate("AND2", [p[i], g[j]],
+                                 f"t{level}_{i}").output
+            new_g[i] = netlist.add_gate(
+                "OR2", [g[i], t], f"g{level}_{i}").output
+            new_p[i] = netlist.add_gate(
+                "AND2", [p[i], p[j]], f"p{level}_{i}").output
+        g, p = new_g, new_p
+        stride *= 2
+        level += 1
+    # Sums: s_i = p0_i XOR carry_{i-1}; carry_{i-1} = g[i-1].
+    netlist.add_gate("BUF", [f"p0_0"], "s0")
+    for i in range(1, width):
+        netlist.add_gate("XOR2", [f"p0_{i}", g[i - 1]], f"s{i}")
+    netlist.add_gate("BUF", [g[width - 1]], "cout")
+    for i in range(width):
+        netlist.add_output(f"s{i}")
+    netlist.add_output("cout")
+    return netlist
+
+
+def decoder(node: TechnologyNode, n_select: int = 3,
+            name: str = "decoder") -> Netlist:
+    """N-to-2^N one-hot decoder (the SRAM wordline shape)."""
+    if not 1 <= n_select <= 6:
+        raise ValueError("n_select must be in 1..6")
+    netlist = Netlist(node, name)
+    selects = netlist.add_inputs(f"sel{i}" for i in range(n_select))
+    inverted = [netlist.add_gate("INV", [s], f"nsel{i}").output
+                for i, s in enumerate(selects)]
+    for code in range(2 ** n_select):
+        terms = [selects[bit] if (code >> bit) & 1 else inverted[bit]
+                 for bit in range(n_select)]
+        net = terms[0]
+        for k, term in enumerate(terms[1:]):
+            net = netlist.add_gate("AND2", [net, term],
+                                   f"d{code}_{k}").output
+        netlist.add_gate("BUF", [net], f"out{code}")
+        netlist.add_output(f"out{code}")
+    return netlist
+
+
+def equality_comparator(node: TechnologyNode, width: int = 8,
+                        name: str = "cmp") -> Netlist:
+    """A == B comparator: XNOR bits reduced through an AND tree."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    netlist = Netlist(node, name)
+    a = netlist.add_inputs(f"a{i}" for i in range(width))
+    b = netlist.add_inputs(f"b{i}" for i in range(width))
+    bits = [netlist.add_gate("XNOR2", [a[i], b[i]],
+                             f"eq{i}").output for i in range(width)]
+    while len(bits) > 1:
+        next_bits = []
+        for i in range(0, len(bits) - 1, 2):
+            next_bits.append(netlist.add_gate(
+                "AND2", [bits[i], bits[i + 1]]).output)
+        if len(bits) % 2:
+            next_bits.append(bits[-1])
+        bits = next_bits
+    netlist.add_gate("BUF", [bits[0]], "equal")
+    netlist.add_output("equal")
+    return netlist
+
+def fir_filter(node: TechnologyNode, n_taps: int = 4,
+               data_width: int = 4,
+               name: str = "fir") -> Netlist:
+    """A serial-data FIR-like MAC datapath (the modem workload shape).
+
+    A shift register of ``n_taps`` x ``data_width`` bits feeds an
+    adder tree whose inputs are AND-masked by per-tap coefficient
+    bits -- a 1-bit-coefficient transposed FIR.  Registered output.
+    This is the multiply-accumulate texture of the paper's OFDM-WLAN
+    baseband modem, used as a SWAN aggressor with realistic
+    datapath-style synchronous activity.
+    """
+    if n_taps < 2 or data_width < 2:
+        raise ValueError("n_taps and data_width must be >= 2")
+    netlist = Netlist(node, name)
+    enable = netlist.add_input("en")
+    zero = netlist.add_input("zero")
+    data = netlist.add_inputs(f"d{i}" for i in range(data_width))
+    coeffs = netlist.add_inputs(f"c{t}" for t in range(n_taps))
+    # Shift register: tap t holds the sample from t cycles ago.
+    taps = [[f"x{t}_{i}" for i in range(data_width)]
+            for t in range(n_taps)]
+    for i in range(data_width):
+        netlist.add_gate("DFF", [enable, data[i]], taps[0][i])
+    for t in range(1, n_taps):
+        for i in range(data_width):
+            netlist.add_gate("DFF", [enable, taps[t - 1][i]],
+                             taps[t][i])
+    # Masked partial products per tap.
+    products = [[netlist.add_gate("AND2", [taps[t][i], coeffs[t]],
+                                  f"p{t}_{i}").output
+                 for i in range(data_width)]
+                for t in range(n_taps)]
+    # Accumulate tap by tap with ripple adders.
+    acc = products[0]
+    for t in range(1, n_taps):
+        carry = zero
+        next_acc = []
+        for i in range(data_width):
+            total, carry = full_adder(netlist, acc[i],
+                                      products[t][i], carry,
+                                      f"acc{t}_{i}")
+            next_acc.append(total)
+        next_acc.append(carry)
+        # Keep the accumulator width bounded for the demo datapath.
+        acc = next_acc[:data_width]
+    for i, net in enumerate(acc):
+        netlist.add_gate("DFF", [enable, net], f"y{i}")
+        netlist.add_output(f"y{i}")
+    return netlist
+

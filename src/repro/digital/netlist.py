@@ -1,0 +1,240 @@
+"""Gate-level netlist representation.
+
+A :class:`Netlist` is a directed graph of sized cells connected by
+named nets.  It is consumed by the static timing analyzer
+(:mod:`repro.digital.timing`), the event-driven simulator
+(:mod:`repro.digital.simulator`) and the SWAN substrate-noise flow
+(:mod:`repro.substrate.swan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..technology.node import TechnologyNode
+from .gates import CELL_TYPES, Cell, make_cell
+
+
+@dataclass
+class Instance:
+    """One placed gate: a cell with named input nets and an output net."""
+
+    name: str
+    cell: Cell
+    inputs: Tuple[str, ...]
+    output: str
+
+    @property
+    def is_sequential(self) -> bool:
+        """True for flip-flops and latches."""
+        return self.cell.cell_type.is_sequential
+
+
+class Netlist:
+    """A combinational / sequential gate-level netlist.
+
+    Nets are plain strings; primary inputs are declared explicitly,
+    every instance output defines its net, and any net that is never
+    consumed is a primary output unless declared otherwise.
+
+    Examples
+    --------
+    >>> from repro.technology import get_node
+    >>> netlist = Netlist(get_node("65nm"))
+    >>> netlist.add_input("a"); netlist.add_input("b")
+    >>> _ = netlist.add_gate("NAND2", ["a", "b"], "y")
+    >>> netlist.evaluate({"a": True, "b": True})["y"]
+    False
+    """
+
+    def __init__(self, node: TechnologyNode, name: str = "top"):
+        self.node = node
+        self.name = name
+        self.instances: Dict[str, Instance] = {}
+        self.primary_inputs: List[str] = []
+        self._declared_outputs: List[str] = []
+        self._net_driver: Dict[str, str] = {}
+        self._counter = 0
+
+    # --- construction -----------------------------------------------------
+
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net."""
+        if net in self._net_driver:
+            raise ValueError(f"net {net!r} is already driven")
+        if net in self.primary_inputs:
+            raise ValueError(f"input {net!r} already declared")
+        self.primary_inputs.append(net)
+        return net
+
+    def add_inputs(self, nets: Iterable[str]) -> List[str]:
+        """Declare several primary inputs."""
+        return [self.add_input(net) for net in nets]
+
+    def add_output(self, net: str) -> str:
+        """Declare a primary output net."""
+        self._declared_outputs.append(net)
+        return net
+
+    def add_gate(self, cell_name: str, inputs: Sequence[str],
+                 output: Optional[str] = None, drive: float = 1.0,
+                 instance_name: Optional[str] = None) -> Instance:
+        """Add a gate instance and return it.
+
+        ``output`` defaults to an auto-generated net name.
+        """
+        if output is None:
+            output = f"n{self._counter}"
+        if output in self._net_driver or output in self.primary_inputs:
+            raise ValueError(f"net {output!r} is already driven")
+        if instance_name is None:
+            instance_name = f"u{self._counter}"
+        if instance_name in self.instances:
+            raise ValueError(f"instance {instance_name!r} already exists")
+        self._counter += 1
+        cell = make_cell(cell_name, self.node, drive)
+        if len(inputs) != cell.cell_type.n_inputs:
+            raise ValueError(
+                f"{cell_name} takes {cell.cell_type.n_inputs} inputs, "
+                f"got {len(inputs)}")
+        instance = Instance(name=instance_name, cell=cell,
+                            inputs=tuple(inputs), output=output)
+        self.instances[instance_name] = instance
+        self._net_driver[output] = instance_name
+        return instance
+
+    # --- structure queries --------------------------------------------------
+
+    @property
+    def nets(self) -> List[str]:
+        """All nets in the design."""
+        seen = dict.fromkeys(self.primary_inputs)
+        for instance in self.instances.values():
+            for net in instance.inputs:
+                seen.setdefault(net)
+            seen.setdefault(instance.output)
+        return list(seen)
+
+    @property
+    def primary_outputs(self) -> List[str]:
+        """Declared outputs, or nets nothing consumes."""
+        if self._declared_outputs:
+            return list(self._declared_outputs)
+        consumed = {net for inst in self.instances.values()
+                    for net in inst.inputs}
+        return [inst.output for inst in self.instances.values()
+                if inst.output not in consumed]
+
+    def driver_of(self, net: str) -> Optional[Instance]:
+        """Instance driving ``net`` (None for primary inputs)."""
+        name = self._net_driver.get(net)
+        return self.instances[name] if name else None
+
+    def loads_of(self, net: str) -> List[Instance]:
+        """Instances with ``net`` as an input."""
+        return [inst for inst in self.instances.values()
+                if net in inst.inputs]
+
+    def fanout_capacitance(self, net: str,
+                           wire_cap_per_fanout: float = 0.5e-15) -> float:
+        """Capacitive load on ``net`` [F]: pin caps + wire estimate."""
+        loads = self.loads_of(net)
+        pin_cap = sum(inst.cell.input_capacitance
+                      * inst.inputs.count(net) for inst in loads)
+        return pin_cap + wire_cap_per_fanout * max(len(loads), 1)
+
+    def gate_count(self) -> int:
+        """Number of gate instances."""
+        return len(self.instances)
+
+    def to_graph(self) -> nx.DiGraph:
+        """Directed graph: instance -> instance edges through nets."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.instances)
+        for instance in self.instances.values():
+            for net in instance.inputs:
+                driver = self._net_driver.get(net)
+                if driver is not None:
+                    graph.add_edge(driver, instance.name, net=net)
+        return graph
+
+    def topological_order(self) -> List[Instance]:
+        """Instances in topological order.
+
+        Sequential cells break cycles: edges *out of* flip-flops are
+        treated as new timing startpoints, so feedback through DFFs is
+        legal.
+        """
+        graph = self.to_graph()
+        # Remove incoming edges of sequential cells to cut registered loops.
+        cut = nx.DiGraph(graph)
+        for name, instance in self.instances.items():
+            if instance.is_sequential:
+                cut.remove_edges_from(list(cut.in_edges(name)))
+        try:
+            order = list(nx.topological_sort(cut))
+        except nx.NetworkXUnfeasible:
+            raise ValueError(
+                "netlist contains a combinational loop") from None
+        return [self.instances[name] for name in order]
+
+    # --- evaluation -----------------------------------------------------------
+
+    def evaluate(self, input_values: Dict[str, bool],
+                 state: Optional[Dict[str, bool]] = None
+                 ) -> Dict[str, bool]:
+        """Evaluate all nets for the given primary-input values.
+
+        ``state`` supplies current flip-flop outputs (by output net);
+        missing state bits default to False.  Returns every net value.
+        """
+        missing = [net for net in self.primary_inputs
+                   if net not in input_values]
+        if missing:
+            raise ValueError(f"missing input values for {missing}")
+        values: Dict[str, bool] = {net: bool(v)
+                                   for net, v in input_values.items()}
+        state = state or {}
+        for instance in self.topological_order():
+            if instance.is_sequential:
+                values[instance.output] = bool(
+                    state.get(instance.output, False))
+                continue
+            ins = tuple(values.get(net, False) for net in instance.inputs)
+            values[instance.output] = instance.cell.cell_type.evaluate(ins)
+        return values
+
+    def step(self, input_values: Dict[str, bool],
+             state: Optional[Dict[str, bool]] = None
+             ) -> Tuple[Dict[str, bool], Dict[str, bool]]:
+        """One clock cycle: evaluate, then capture DFF inputs.
+
+        Returns (net values, next state).  DFF input pin 1 is the data
+        pin (pin 0 is treated as enable and ignored here).
+        """
+        values = self.evaluate(input_values, state)
+        next_state = {}
+        for instance in self.instances.values():
+            if instance.is_sequential:
+                data_net = instance.inputs[-1]
+                next_state[instance.output] = values.get(data_net, False)
+        return values, next_state
+
+    # --- aggregate electrical views -----------------------------------------
+
+    def total_leakage_power(self) -> float:
+        """Sum of cell leakage powers [W]."""
+        return sum(inst.cell.leakage_power()
+                   for inst in self.instances.values())
+
+    def total_area(self) -> float:
+        """Sum of cell footprints [m^2]."""
+        return sum(inst.cell.area() for inst in self.instances.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Netlist({self.name!r}, {self.gate_count()} gates, "
+                f"{len(self.primary_inputs)} inputs, "
+                f"{len(self.primary_outputs)} outputs)")

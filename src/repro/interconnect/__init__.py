@@ -1,0 +1,82 @@
+"""Interconnect analysis: RC wires, Elmore trees, repeaters, clock skew."""
+
+from .wire import (
+    WireGeometry,
+    capacitance_per_length,
+    delay_table_vs_length,
+    rc_time_constant,
+    resistance_per_length,
+    wire_delay,
+    wire_delay_in_pitches,
+    wire_energy,
+)
+from .elmore import (
+    RCNode,
+    RCTree,
+    driver_wire_load_delay,
+    uniform_line,
+)
+from .repeaters import (
+    DriverModel,
+    RepeaterSolution,
+    critical_length,
+    insert_repeaters,
+    optimal_repeater_count,
+    optimal_repeater_size,
+    repeated_delay_per_mm,
+)
+from .clocktree import (
+    HTreeReport,
+    build_h_tree,
+    h_tree_report,
+    max_wire_length_for_skew,
+    skew_budget,
+    skew_length_sweep,
+    synchronous_region_trend,
+)
+from .bus import (
+    BusTiming,
+    bus_timing,
+    coupling_ratio,
+    crosstalk_delay_trend,
+    miller_factor,
+    pattern_delay,
+    shielding_cost,
+)
+from .inductance import (
+    MU_0,
+    RlcCharacter,
+    inductance_relevance_trend,
+    inductive_crosstalk_fraction,
+    mutual_inductance_per_length,
+    rlc_character,
+    self_inductance_per_length,
+)
+from .trends import (
+    delay_trend,
+    global_wire_delay,
+    intrinsic_gate_delay,
+    local_wire_delay,
+    power_fraction_trend,
+)
+
+__all__ = [
+    "WireGeometry", "capacitance_per_length", "delay_table_vs_length",
+    "rc_time_constant", "resistance_per_length", "wire_delay",
+    "wire_delay_in_pitches", "wire_energy",
+    "RCNode", "RCTree", "driver_wire_load_delay", "uniform_line",
+    "DriverModel", "RepeaterSolution", "critical_length",
+    "insert_repeaters", "optimal_repeater_count", "optimal_repeater_size",
+    "repeated_delay_per_mm",
+    "HTreeReport", "build_h_tree", "h_tree_report",
+    "max_wire_length_for_skew", "skew_budget", "skew_length_sweep",
+    "synchronous_region_trend",
+    "BusTiming", "bus_timing", "coupling_ratio",
+    "crosstalk_delay_trend", "miller_factor", "pattern_delay",
+    "shielding_cost",
+    "MU_0", "RlcCharacter", "inductance_relevance_trend",
+    "inductive_crosstalk_fraction", "mutual_inductance_per_length",
+    "rlc_character", "self_inductance_per_length",
+    "delay_trend", "global_wire_delay", "intrinsic_gate_delay",
+    "local_wire_delay", "power_fraction_trend",
+]

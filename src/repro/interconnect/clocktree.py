@@ -1,0 +1,169 @@
+"""Clock distribution and skew analysis -- Fig. 5 of the paper.
+
+Fig. 5 plots the maximum interconnect length that keeps clock skew
+below 20 % of the clock period, as a function of clock frequency, for
+a typical M1/M2 wire in a 100 nm technology: about 2 mm at 1 GHz,
+falling as ~1/sqrt(f) (unrepeated RC wire).  Section 3.3's conclusion:
+synchronous regions shrink with both frequency and scaling, forcing
+globally-asynchronous-locally-synchronous architectures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..technology.node import TechnologyNode
+from .elmore import RCNode, RCTree
+from .repeaters import DriverModel, insert_repeaters
+from .wire import WireGeometry, capacitance_per_length, resistance_per_length
+
+
+def skew_budget(frequency: float, fraction: float = 0.2) -> float:
+    """Allowed skew [s]: ``fraction`` of the clock period."""
+    if frequency <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency}")
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    return fraction / frequency
+
+
+def max_wire_length_for_skew(node: TechnologyNode, frequency: float,
+                             skew_fraction: float = 0.2,
+                             layer: int = 1,
+                             repeated: bool = False) -> float:
+    """Maximum wire length [m] whose delay fits the skew budget.
+
+    The worst-case skew between two leaf flops is bounded by the full
+    wire delay (one leaf adjacent to the driver, one at the far end),
+    so the constraint is t_wire(L) <= fraction / f.
+
+    With ``repeated=False`` (the figure's case) the wire is a plain
+    RC line and L_max = sqrt(2 * budget / (r*c)) ~ 1/sqrt(f); with
+    repeaters the delay is linear in L and L_max ~ 1/f.
+    """
+    budget = skew_budget(frequency, skew_fraction)
+    geom = WireGeometry.for_node(node, layer)
+    if not repeated:
+        r = resistance_per_length(geom)
+        c = capacitance_per_length(geom)
+        return math.sqrt(2.0 * budget / (r * c))
+    per_metre = insert_repeaters(node, 1e-3, layer).delay / 1e-3
+    return budget / per_metre
+
+
+def skew_length_sweep(node: TechnologyNode,
+                      frequencies: Sequence[float],
+                      skew_fraction: float = 0.2,
+                      layer: int = 1) -> List[Dict[str, float]]:
+    """Regenerate Fig. 5: max length vs clock frequency.
+
+    Returns both the unrepeated (the figure's curve) and the repeated
+    variant per frequency.
+    """
+    rows = []
+    for frequency in frequencies:
+        rows.append({
+            "frequency_GHz": frequency / 1e9,
+            "max_length_mm": max_wire_length_for_skew(
+                node, frequency, skew_fraction, layer) * 1e3,
+            "max_length_repeated_mm": max_wire_length_for_skew(
+                node, frequency, skew_fraction, layer, repeated=True) * 1e3,
+        })
+    return rows
+
+
+@dataclass(frozen=True)
+class HTreeReport:
+    """Skew analysis of a balanced H-tree with load imbalance."""
+
+    levels: int
+    span: float                 # die edge covered [m]
+    nominal_delay: float        # root-to-leaf Elmore delay [s]
+    skew: float                 # max-min leaf delay [s]
+    n_leaves: int
+
+    def skew_fraction_of(self, frequency: float) -> float:
+        """This tree's skew as a fraction of a clock period."""
+        return self.skew * frequency
+
+
+def build_h_tree(node: TechnologyNode, span: float, levels: int,
+                 leaf_load: float = 20e-15,
+                 load_imbalance: float = 0.0,
+                 layer: int = 2,
+                 driver: Optional[DriverModel] = None) -> RCTree:
+    """Build a balanced binary H-tree RC model over a ``span`` die edge.
+
+    Each level halves the remaining span; ``load_imbalance`` (relative)
+    perturbs the leaf loads pairwise to create a deterministic skew, so
+    the analysis exposes how load mismatch converts into timing skew.
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    if span <= 0:
+        raise ValueError("span must be positive")
+    geom = WireGeometry.for_node(node, layer)
+    r = resistance_per_length(geom)
+    c = capacitance_per_length(geom)
+    driver = driver or DriverModel.for_node(node)
+    tree = RCTree(driver_resistance=driver.resistance_unit / 16.0)
+
+    leaf_index = [0]
+
+    def grow(parent: RCNode, level: int, prefix: str) -> None:
+        branch_length = span / 2.0 ** (level + 1)
+        for side in ("a", "b"):
+            child = parent.add_child(RCNode(
+                f"{prefix}{side}",
+                resistance=r * branch_length,
+                capacitance=c * branch_length))
+            if level + 1 < levels:
+                grow(child, level + 1, f"{prefix}{side}")
+            else:
+                sign = 1.0 if leaf_index[0] % 2 == 0 else -1.0
+                child.capacitance += leaf_load * (
+                    1.0 + sign * load_imbalance)
+                leaf_index[0] += 1
+
+    grow(tree.root, 0, "n")
+    return tree
+
+
+def h_tree_report(node: TechnologyNode, span: float, levels: int = 4,
+                  leaf_load: float = 20e-15,
+                  load_imbalance: float = 0.1,
+                  layer: int = 2) -> HTreeReport:
+    """Build and analyze an H-tree; see :func:`build_h_tree`."""
+    tree = build_h_tree(node, span, levels, leaf_load, load_imbalance, layer)
+    delays = tree.all_sink_delays()
+    values = list(delays.values())
+    return HTreeReport(
+        levels=levels,
+        span=span,
+        nominal_delay=max(values),
+        skew=max(values) - min(values),
+        n_leaves=len(values),
+    )
+
+
+def synchronous_region_trend(nodes: Sequence[TechnologyNode],
+                             frequency: float = 1e9,
+                             skew_fraction: float = 0.2
+                             ) -> List[Dict[str, float]]:
+    """Max synchronous-region edge per node at fixed frequency.
+
+    The GALS argument of section 3.3: with decreasing pitches and line
+    widths this distance decreases, so chips fragment into locally
+    synchronous islands.
+    """
+    rows = []
+    for node in nodes:
+        length = max_wire_length_for_skew(node, frequency, skew_fraction)
+        rows.append({
+            "node": node.name,
+            "pitch_nm": node.wire_pitch * 1e9,
+            "max_length_mm": length * 1e3,
+        })
+    return rows

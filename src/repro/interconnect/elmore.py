@@ -1,0 +1,153 @@
+"""Elmore delay on RC trees.
+
+The first-order wire formula (eq. 3) covers point-to-point lines; real
+signal and clock nets are trees.  This module provides an RC-tree data
+structure and the Elmore delay -- the standard first moment of the
+impulse response -- used by the clock-skew analysis (Fig. 5) and the
+repeater-insertion optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .wire import WireGeometry, capacitance_per_length, resistance_per_length
+
+
+@dataclass
+class RCNode:
+    """One node of an RC tree.
+
+    ``resistance`` is the resistance of the branch from the parent to
+    this node; ``capacitance`` is the grounded capacitance lumped at
+    this node.
+    """
+
+    name: str
+    resistance: float = 0.0
+    capacitance: float = 0.0
+    children: List["RCNode"] = field(default_factory=list)
+
+    def add_child(self, child: "RCNode") -> "RCNode":
+        """Attach ``child`` and return it (for chaining)."""
+        self.children.append(child)
+        return child
+
+    def iter_nodes(self):
+        """Yield this node and all descendants (pre-order)."""
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+
+class RCTree:
+    """An RC tree rooted at a driver with source resistance.
+
+    Examples
+    --------
+    >>> tree = RCTree(driver_resistance=1e3)
+    >>> a = tree.root.add_child(RCNode("a", 100.0, 1e-15))
+    >>> tree.elmore_delay("a") > 0
+    True
+    """
+
+    def __init__(self, driver_resistance: float = 0.0):
+        if driver_resistance < 0:
+            raise ValueError("driver_resistance must be non-negative")
+        self.root = RCNode("root", resistance=driver_resistance)
+
+    def subtree_capacitance(self, node: Optional[RCNode] = None) -> float:
+        """Total capacitance at and below ``node`` [F]."""
+        node = node or self.root
+        return sum(n.capacitance for n in node.iter_nodes())
+
+    def find(self, name: str) -> RCNode:
+        """Find a node by name; raises KeyError if absent."""
+        for node in self.root.iter_nodes():
+            if node.name == name:
+                return node
+        raise KeyError(f"no RC node named {name!r}")
+
+    def _path_to(self, name: str) -> List[RCNode]:
+        """Return the node path root -> target."""
+        def search(node: RCNode, path: List[RCNode]) -> Optional[List[RCNode]]:
+            path = path + [node]
+            if node.name == name:
+                return path
+            for child in node.children:
+                found = search(child, path)
+                if found:
+                    return found
+            return None
+
+        path = search(self.root, [])
+        if path is None:
+            raise KeyError(f"no RC node named {name!r}")
+        return path
+
+    def elmore_delay(self, sink: str) -> float:
+        """Elmore delay [s] from the driver to ``sink``.
+
+        T_D = sum over path nodes k of R_k * C_downstream(k), the
+        classic upper bound / first moment.
+        """
+        path = self._path_to(sink)
+        delay = 0.0
+        for node in path:
+            delay += node.resistance * self.subtree_capacitance(node)
+        return delay
+
+    def all_sink_delays(self) -> Dict[str, float]:
+        """Elmore delay to every leaf node."""
+        return {node.name: self.elmore_delay(node.name)
+                for node in self.root.iter_nodes()
+                if not node.children and node is not self.root}
+
+    def skew(self) -> float:
+        """Max - min leaf delay [s] (clock-skew of the tree)."""
+        delays = list(self.all_sink_delays().values())
+        if not delays:
+            return 0.0
+        return max(delays) - min(delays)
+
+
+def uniform_line(geom: WireGeometry, length: float, segments: int = 10,
+                 driver_resistance: float = 0.0,
+                 load_capacitance: float = 0.0,
+                 name_prefix: str = "seg") -> RCTree:
+    """Build an RC-ladder model of a uniform wire.
+
+    With enough segments the Elmore delay converges to r*c*L^2/2 +
+    R_drv*c*L + (R_drv + r*L)*C_load, the standard driver-wire-load
+    formula.
+    """
+    if segments < 1:
+        raise ValueError("segments must be >= 1")
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    r_seg = resistance_per_length(geom) * length / segments
+    c_seg = capacitance_per_length(geom) * length / segments
+    tree = RCTree(driver_resistance=driver_resistance)
+    current = tree.root
+    for i in range(segments):
+        current = current.add_child(
+            RCNode(f"{name_prefix}{i}", resistance=r_seg,
+                   capacitance=c_seg))
+    current.capacitance += load_capacitance
+    current.name = f"{name_prefix}_sink"
+    return tree
+
+
+def driver_wire_load_delay(geom: WireGeometry, length: float,
+                           driver_resistance: float,
+                           load_capacitance: float) -> float:
+    """Closed-form Elmore delay of driver + uniform wire + load [s].
+
+    T = R_drv*(C_wire + C_load) + r*L*(c*L/2 + C_load).
+    """
+    r = resistance_per_length(geom)
+    c = capacitance_per_length(geom)
+    c_wire = c * length
+    return (driver_resistance * (c_wire + load_capacitance)
+            + r * length * (c_wire / 2.0 + load_capacitance))

@@ -1,0 +1,102 @@
+"""Interconnect-vs-gate scaling trends (section 2.3 of the paper).
+
+Two claims are quantified here:
+
+1. Wires that scale with the technology (local wires, constant length
+   in pitches) keep a constant delay while the intrinsic gate delay
+   falls by 1/S -- so interconnect delay *relatively* grows.
+2. Global wires (busses) whose physical length stays constant get
+   slower in absolute terms as r and c per length degrade with pitch;
+   relative to gates they get slower even faster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..technology.node import TechnologyNode
+from .repeaters import DriverModel
+from .wire import WireGeometry, wire_delay, wire_energy
+
+
+def intrinsic_gate_delay(node: TechnologyNode) -> float:
+    """FO1 inverter delay estimate [s] from the linearized driver model."""
+    driver = DriverModel.for_node(node)
+    return 0.69 * driver.resistance_unit * (
+        driver.capacitance_unit + driver.self_load_unit)
+
+
+def local_wire_delay(node: TechnologyNode, n_pitches: float = 2000,
+                     layer: int = 1) -> float:
+    """Delay [s] of a *scaled* local wire, fixed length in pitches."""
+    geom = WireGeometry.for_node(node, layer)
+    return wire_delay(geom, n_pitches * geom.pitch)
+
+
+def global_wire_delay(node: TechnologyNode, length: float = 10e-3,
+                      layer: int = 3) -> float:
+    """Delay [s] of a fixed-physical-length global wire (e.g. a bus).
+
+    The paper's bus scenario: the wire pitch scales with the
+    technology but the length does not, so the delay grows steeply.
+    Routed on a mid-level (scaled) layer by default; pass
+    ``layer=node.metal_layers`` to model a reverse-scaled top layer
+    instead.
+    """
+    layer = min(layer, node.metal_layers)
+    geom = WireGeometry.for_node(node, layer)
+    return wire_delay(geom, length)
+
+
+def delay_trend(nodes: Sequence[TechnologyNode],
+                local_pitches: float = 2000,
+                global_length: float = 10e-3) -> List[Dict[str, float]]:
+    """Tabulate gate vs local-wire vs global-wire delay per node.
+
+    The ratios columns carry the paper's argument: ``local_over_gate``
+    grows slowly (constant wire, faster gate); ``global_over_gate``
+    explodes.
+    """
+    rows = []
+    for node in nodes:
+        gate = intrinsic_gate_delay(node)
+        local = local_wire_delay(node, local_pitches)
+        global_ = global_wire_delay(node, global_length)
+        rows.append({
+            "node": node.name,
+            "gate_delay_ps": gate * 1e12,
+            "local_wire_delay_ps": local * 1e12,
+            "global_wire_delay_ps": global_ * 1e12,
+            "local_over_gate": local / gate,
+            "global_over_gate": global_ / gate,
+        })
+    return rows
+
+
+def power_fraction_trend(nodes: Sequence[TechnologyNode],
+                         wire_per_gate: float = None,
+                         activity: float = 0.1
+                         ) -> List[Dict[str, float]]:
+    """Interconnect share of dynamic switching energy per node.
+
+    Section 2.3's second claim: the interconnect-capacitance share of
+    power consumption grows with scaling.  ``wire_per_gate`` is the
+    average local wiring length per gate; defaults to 30 pitches.
+    """
+    rows = []
+    for node in nodes:
+        geom = WireGeometry.for_node(node, 1)
+        length = (wire_per_gate if wire_per_gate is not None
+                  else 30 * geom.pitch)
+        driver = DriverModel.for_node(node)
+        gate_energy = activity * 4.0 * (driver.capacitance_unit
+                                        + driver.self_load_unit) \
+            * node.vdd ** 2
+        wire = wire_energy(geom, length, node.vdd, activity)
+        rows.append({
+            "node": node.name,
+            "gate_energy_fJ": gate_energy * 1e15,
+            "wire_energy_fJ": wire * 1e15,
+            "wire_fraction": wire / (wire + gate_energy),
+        })
+    return rows

@@ -1,0 +1,35 @@
+"""Embedded memory models: 6T SRAM cell and array analysis."""
+
+from .sram import (
+    SramCell,
+    SramCellDesign,
+    cell_failure_probability,
+    snm_trend,
+    snm_under_mismatch,
+)
+from .array import ArraySpec, SramArray, array_trend
+from .sense_amp import (
+    SenseAmp,
+    offset_compensation_benefit,
+    read_access_with_offset,
+    sense_margin_trend,
+)
+from .lowpower import (
+    RetentionResult,
+    body_bias_retention,
+    drowsy_mode,
+    minimum_retention_voltage,
+    power_gate_array,
+    retention_techniques_trend,
+)
+
+__all__ = [
+    "SramCell", "SramCellDesign", "cell_failure_probability",
+    "snm_trend", "snm_under_mismatch",
+    "ArraySpec", "SramArray", "array_trend",
+    "SenseAmp", "offset_compensation_benefit",
+    "read_access_with_offset", "sense_margin_trend",
+    "RetentionResult", "body_bias_retention", "drowsy_mode",
+    "minimum_retention_voltage", "power_gate_array",
+    "retention_techniques_trend",
+]

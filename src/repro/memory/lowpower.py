@@ -1,0 +1,162 @@
+"""SRAM leakage-reduction techniques: drowsy retention and gating.
+
+The memory face of section 3.2: arrays leak constantly, so the same
+technique classes apply -- lowering the retention supply (drowsy
+mode), reverse body bias (VTCMOS) and power gating (with data loss).
+Each trades leakage against retention safety margin, and each loses
+steam with scaling for the same reasons the logic techniques do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.constants import thermal_voltage
+from ..technology.node import TechnologyNode
+from ..devices.body_bias import vth_with_body_bias
+from .sram import SramCell, SramCellDesign
+
+
+@dataclass(frozen=True)
+class RetentionResult:
+    """Leakage/stability outcome of one retention technique."""
+
+    technique: str
+    node_name: str
+    leakage_active: float        # W per cell at nominal VDD
+    leakage_retention: float     # W per cell in the low-power state
+    hold_snm_retention: float    # V at the retention point
+    data_retained: bool
+
+    @property
+    def reduction(self) -> float:
+        """Active / retention leakage ratio."""
+        if self.leakage_retention <= 0:
+            return math.inf
+        return self.leakage_active / self.leakage_retention
+
+
+def minimum_retention_voltage(node: TechnologyNode,
+                              design: SramCellDesign = SramCellDesign(),
+                              snm_floor_fraction: float = 0.1,
+                              resolution: float = 0.05) -> float:
+    """Lowest V_DD [V] at which the cell still holds its state.
+
+    Sweeps the supply down until the hold SNM falls below
+    ``snm_floor_fraction`` of the *nominal* V_DD; the classic data
+    retention voltage (DRV) plus margin.
+    """
+    floor = snm_floor_fraction * node.vdd
+    vdd = node.vdd
+    while vdd > node.vth + 2.0 * thermal_voltage(node.temperature):
+        candidate = node.with_overrides(vdd=vdd,
+                                        vth=min(node.vth, 0.8 * vdd))
+        cell = SramCell(candidate, design)
+        if cell.static_noise_margin(n_points=41) < floor:
+            return min(vdd + resolution, node.vdd)
+        vdd -= resolution
+    return min(vdd + resolution, node.vdd)
+
+
+def drowsy_mode(node: TechnologyNode,
+                design: SramCellDesign = SramCellDesign(),
+                retention_vdd: Optional[float] = None
+                ) -> RetentionResult:
+    """Drowsy retention: drop the array supply to near the DRV.
+
+    Leakage falls through three levers at once: V_DS (DIBL), the
+    supply across the leaking device, and gate leakage's steep V
+    dependence.
+    """
+    if retention_vdd is None:
+        retention_vdd = 1.1 * minimum_retention_voltage(node, design)
+    retention_vdd = min(retention_vdd, node.vdd)
+    active_cell = SramCell(node, design)
+    drowsy_node = node.with_overrides(
+        vdd=retention_vdd, vth=min(node.vth, 0.8 * retention_vdd))
+    drowsy_cell = SramCell(drowsy_node, design)
+    return RetentionResult(
+        technique="drowsy",
+        node_name=node.name,
+        leakage_active=active_cell.leakage_current() * node.vdd,
+        leakage_retention=drowsy_cell.leakage_current() * retention_vdd,
+        hold_snm_retention=drowsy_cell.hold_snm(),
+        data_retained=drowsy_cell.hold_snm() > 0.05 * node.vdd,
+    )
+
+
+def body_bias_retention(node: TechnologyNode,
+                        design: SramCellDesign = SramCellDesign(),
+                        vsb: float = 0.5) -> RetentionResult:
+    """VTCMOS retention: reverse body bias the whole array.
+
+    Stability is untouched (full V_DD retained) but the reduction is
+    capped twice over: by the shrinking body factor (section 3.2),
+    and -- at nodes where gate tunnelling rivals subthreshold leakage
+    (the 65 nm marker) -- by the gate-leakage floor that body bias
+    cannot touch at all.
+    """
+    active_cell = SramCell(node, design)
+    delta = vth_with_body_bias(node, vsb) - node.vth
+    biased_node = node.with_overrides(
+        vth=min(node.vth + delta, 0.9 * node.vdd))
+    biased_cell = SramCell(biased_node, design)
+    return RetentionResult(
+        technique="body-bias",
+        node_name=node.name,
+        leakage_active=active_cell.leakage_current() * node.vdd,
+        leakage_retention=biased_cell.leakage_current() * node.vdd,
+        hold_snm_retention=biased_cell.hold_snm(),
+        data_retained=True,
+    )
+
+
+def power_gate_array(node: TechnologyNode,
+                     design: SramCellDesign = SramCellDesign(),
+                     switch_leakage_fraction: float = 0.002
+                     ) -> RetentionResult:
+    """Power gating: cut the array supply entirely.
+
+    Maximum savings, but the data is lost -- only usable for
+    flushable arrays (caches with clean lines).
+    """
+    if not 0 < switch_leakage_fraction < 1:
+        raise ValueError("switch_leakage_fraction must be in (0, 1)")
+    active_cell = SramCell(node, design)
+    active = active_cell.leakage_current() * node.vdd
+    return RetentionResult(
+        technique="power-gate",
+        node_name=node.name,
+        leakage_active=active,
+        leakage_retention=active * switch_leakage_fraction,
+        hold_snm_retention=0.0,
+        data_retained=False,
+    )
+
+
+def retention_techniques_trend(nodes: Sequence[TechnologyNode],
+                               design: SramCellDesign = SramCellDesign()
+                               ) -> List[Dict[str, float]]:
+    """All three techniques per node: the section-3.2 story on SRAM.
+
+    Drowsy stays effective (its levers are voltages, not the body
+    factor); VTCMOS fades with the bulk factor *and* hits the
+    gate-leakage floor where tunnelling peaks (65 nm); gating always
+    wins on leakage but loses the data.
+    """
+    rows = []
+    for node in nodes:
+        retention_vdd = 1.1 * minimum_retention_voltage(node, design)
+        drowsy = drowsy_mode(node, design, retention_vdd=retention_vdd)
+        body = body_bias_retention(node, design)
+        gated = power_gate_array(node, design)
+        rows.append({
+            "node": node.name,
+            "drowsy_reduction": drowsy.reduction,
+            "drowsy_vdd_V": min(retention_vdd, node.vdd),
+            "body_bias_reduction": body.reduction,
+            "power_gate_reduction": gated.reduction,
+        })
+    return rows

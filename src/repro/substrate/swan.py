@@ -1,0 +1,304 @@
+"""The SWAN substrate-noise methodology (Fig. 10 of the paper).
+
+Pipeline, exactly as section 4.3 describes it:
+
+1. every standard cell is characterized a priori with an injection
+   macromodel (:mod:`repro.substrate.injection`);
+2. a gate-level (event-driven) simulation of the system provides the
+   switching-event stream (:mod:`repro.digital.simulator`), replacing
+   the paper's VHDL simulation;
+3. the total substrate injection is the superposition of all switching
+   cells' macromodel pulses at their floorplan positions;
+4. the finite-difference substrate mesh propagates the injected
+   currents to the sensitive analog node
+   (:mod:`repro.substrate.mesh`).
+
+The *reference* ("measured") waveform runs the same propagation with
+the detailed per-event waveforms (shape-accurate, with per-event
+jitter and supply-bounce ringing) -- standing in for the paper's
+silicon measurement, which we cannot perform.  The experiment then
+reports the same two numbers as Fig. 10: RMS error and peak-to-peak
+error of SWAN vs reference over a 100 ns window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..digital.netlist import Netlist
+from ..digital.simulator import (EventDrivenSimulator, SimulationResult,
+                                 random_stimulus)
+from .injection import (InjectionMacromodel, characterize_library)
+from .mesh import SubstrateMesh, SubstrateProcess
+
+
+@dataclass
+class Floorplan:
+    """Placement of digital instances on the die surface.
+
+    Instances are arranged row-major on a regular grid inside the
+    digital region; the analog sensor sits elsewhere on the die.
+    """
+
+    die_width: float
+    die_height: float
+    digital_region: Tuple[float, float, float, float]  # x1,y1,x2,y2
+    sensor_xy: Tuple[float, float]
+
+    def __post_init__(self) -> None:
+        x1, y1, x2, y2 = self.digital_region
+        if not (0 <= x1 < x2 <= self.die_width
+                and 0 <= y1 < y2 <= self.die_height):
+            raise ValueError("digital region must lie inside the die")
+        sx, sy = self.sensor_xy
+        if not (0 <= sx <= self.die_width and 0 <= sy <= self.die_height):
+            raise ValueError("sensor must lie inside the die")
+
+    def instance_positions(self, names: List[str]
+                           ) -> Dict[str, Tuple[float, float]]:
+        """Grid positions for every instance name."""
+        x1, y1, x2, y2 = self.digital_region
+        n = len(names)
+        n_cols = max(int(math.ceil(math.sqrt(n))), 1)
+        n_rows = int(math.ceil(n / n_cols))
+        positions = {}
+        for index, name in enumerate(names):
+            col = index % n_cols
+            row = index // n_cols
+            positions[name] = (
+                x1 + (x2 - x1) * (col + 0.5) / n_cols,
+                y1 + (y2 - y1) * (row + 0.5) / max(n_rows, 1))
+        return positions
+
+    @classmethod
+    def default(cls, die_width: float = 3e-3, die_height: float = 3e-3
+                ) -> "Floorplan":
+        """A typical mixed-signal floorplan: digital block lower-left,
+        analog sensor upper-right."""
+        return cls(
+            die_width=die_width,
+            die_height=die_height,
+            digital_region=(0.1 * die_width, 0.1 * die_height,
+                            0.6 * die_width, 0.6 * die_height),
+            sensor_xy=(0.85 * die_width, 0.85 * die_height),
+        )
+
+
+@dataclass
+class NoiseWaveform:
+    """A sampled substrate-noise voltage at the sensor."""
+
+    time: np.ndarray        # s
+    voltage: np.ndarray     # V
+
+    @property
+    def rms(self) -> float:
+        """RMS value [V]."""
+        return float(np.sqrt(np.mean(self.voltage ** 2)))
+
+    @property
+    def peak_to_peak(self) -> float:
+        """Peak-to-peak value [V]."""
+        return float(self.voltage.max() - self.voltage.min())
+
+    def resampled(self, time: np.ndarray) -> "NoiseWaveform":
+        """Linear resampling onto another time axis."""
+        return NoiseWaveform(
+            time=time,
+            voltage=np.interp(time, self.time, self.voltage))
+
+
+class SwanSimulator:
+    """Runs the SWAN flow on one netlist + floorplan.
+
+    Parameters
+    ----------
+    netlist:
+        The digital design (its node sets all cell characterization).
+    floorplan:
+        Die geometry and instance placement.
+    mesh_resolution:
+        Substrate mesh density (nodes per die edge).
+    clock_frequency:
+        Digital clock [Hz].
+    process:
+        Substrate stack description.
+    guard_ring:
+        Whether to surround the sensor with a grounded guard ring.
+    """
+
+    def __init__(self, netlist: Netlist, floorplan: Optional[Floorplan] = None,
+                 mesh_resolution: int = 30,
+                 clock_frequency: float = 50e6,
+                 process: SubstrateProcess = SubstrateProcess(),
+                 guard_ring: bool = False,
+                 seed: Optional[int] = None):
+        if clock_frequency <= 0:
+            raise ValueError("clock_frequency must be positive")
+        self.netlist = netlist
+        self.floorplan = floorplan or Floorplan.default()
+        self.clock_frequency = clock_frequency
+        self.rng = np.random.default_rng(seed)
+        self.mesh = SubstrateMesh(
+            self.floorplan.die_width, self.floorplan.die_height,
+            nx=mesh_resolution, ny=mesh_resolution, process=process)
+        sx, sy = self.floorplan.sensor_xy
+        if guard_ring:
+            ring = 0.08 * self.floorplan.die_width
+            self.mesh.add_guard_ring(sx - ring, sy - ring,
+                                     sx + ring, sy + ring)
+        self.sensor_node = self.mesh.node_at(sx, sy)
+        self.macromodels = characterize_library(netlist.node)
+        positions = self.floorplan.instance_positions(
+            list(netlist.instances))
+        self._instance_node = {
+            name: self.mesh.node_at(*xy)
+            for name, xy in positions.items()}
+        self._impedance = self.mesh.transfer_impedance_to(
+            self.sensor_node)
+
+    # --- event stream ----------------------------------------------------
+
+    def simulate_activity(self, n_cycles: int = 5,
+                          stimulus_seed: int = 0) -> SimulationResult:
+        """Run the gate-level simulation producing switching events."""
+        simulator = EventDrivenSimulator(
+            self.netlist, clock_period=1.0 / self.clock_frequency)
+        stimulus = random_stimulus(self.netlist, n_cycles,
+                                   seed=stimulus_seed,
+                                   held_high=("en", "enable"))
+        return simulator.run(stimulus, n_cycles)
+
+    # --- injection + propagation ---------------------------------------------
+
+    def _time_axis(self, duration: float, dt: float) -> np.ndarray:
+        return np.arange(0.0, duration, dt)
+
+    def injected_currents(self, result: SimulationResult,
+                          dt: float = 25e-12,
+                          detailed: bool = False,
+                          duration: Optional[float] = None
+                          ) -> Tuple[np.ndarray, Dict[int, np.ndarray]]:
+        """Per-mesh-node injected current waveforms.
+
+        Returns (time axis, {mesh node: current [A] over time}).  With
+        ``detailed`` the per-event detailed waveforms (with jitter and
+        ringing) are used instead of the macromodels.
+        """
+        duration = duration if duration is not None else result.duration
+        time = self._time_axis(duration, dt)
+        node_currents: Dict[int, np.ndarray] = {}
+        # Pre-sample each cell type's pulse once for the macromodel
+        # path (identical for every event of that cell).
+        pulse_cache: Dict[str, np.ndarray] = {}
+        for event in result.events:
+            if event.instance is None:
+                continue
+            instance = self.netlist.instances[event.instance]
+            cell_name = instance.cell.cell_type.name
+            model = self.macromodels[cell_name]
+            start = int(event.time / dt)
+            if start >= time.size:
+                continue
+            span = max(int(4.0 * model.duration / dt) + 2, 4)
+            local_t = (np.arange(span) * dt)
+            if detailed:
+                pulse = model.detailed_waveform(local_t, rng=self.rng)
+            else:
+                pulse = pulse_cache.get(cell_name)
+                if pulse is None:
+                    pulse = model.macromodel_waveform(local_t)
+                    pulse_cache[cell_name] = pulse
+            mesh_node = self._instance_node[event.instance]
+            series = node_currents.get(mesh_node)
+            if series is None:
+                series = np.zeros(time.size)
+                node_currents[mesh_node] = series
+            stop = min(start + span, time.size)
+            series[start:stop] += pulse[:stop - start]
+        return time, node_currents
+
+    def propagate(self, time: np.ndarray,
+                  node_currents: Dict[int, np.ndarray]) -> NoiseWaveform:
+        """Quasi-static propagation to the sensor node."""
+        voltage = np.zeros(time.size)
+        for mesh_node, series in node_currents.items():
+            voltage += self._impedance[mesh_node] * series
+        return NoiseWaveform(time=time, voltage=voltage)
+
+    def run(self, n_cycles: int = 5, dt: float = 25e-12,
+            detailed: bool = False,
+            stimulus_seed: int = 0,
+            activity: Optional[SimulationResult] = None,
+            duration: Optional[float] = None) -> NoiseWaveform:
+        """Full flow: activity -> injection -> propagation.
+
+        ``duration`` truncates/extends the output time axis (defaults
+        to the simulated activity's span).
+        """
+        if activity is None:
+            activity = self.simulate_activity(n_cycles, stimulus_seed)
+        time, currents = self.injected_currents(
+            activity, dt=dt, detailed=detailed, duration=duration)
+        return self.propagate(time, currents)
+
+
+@dataclass(frozen=True)
+class SwanComparison:
+    """SWAN-vs-reference accuracy report (the Fig. 10 numbers)."""
+
+    swan: NoiseWaveform
+    reference: NoiseWaveform
+
+    @property
+    def rms_error(self) -> float:
+        """Relative RMS error of the SWAN waveform."""
+        ref = self.reference.rms
+        if ref <= 0:
+            return 0.0
+        return abs(self.swan.rms - ref) / ref
+
+    @property
+    def peak_to_peak_error(self) -> float:
+        """Relative peak-to-peak error of the SWAN waveform."""
+        ref = self.reference.peak_to_peak
+        if ref <= 0:
+            return 0.0
+        return abs(self.swan.peak_to_peak - ref) / ref
+
+    def passes_paper_accuracy(self) -> bool:
+        """Paper's Fig. 10 claim: RMS within 20 %, p2p within 4 %."""
+        return self.rms_error <= 0.20 and self.peak_to_peak_error <= 0.04
+
+
+def run_swan_experiment(netlist: Netlist,
+                        floorplan: Optional[Floorplan] = None,
+                        n_cycles: int = 5,
+                        clock_frequency: float = 50e6,
+                        mesh_resolution: int = 30,
+                        dt: float = 25e-12,
+                        seed: int = 0) -> SwanComparison:
+    """Run the Fig. 10 experiment: SWAN vs detailed reference.
+
+    Both paths share the same switching-activity stream (as in the
+    paper, where the same chip both runs SWAN's netlist and is
+    measured) and the same substrate mesh; they differ only in the
+    injection waveform model.
+    """
+    simulator = SwanSimulator(
+        netlist, floorplan,
+        mesh_resolution=mesh_resolution,
+        clock_frequency=clock_frequency, seed=seed)
+    activity = simulator.simulate_activity(n_cycles, stimulus_seed=seed)
+    time, macro_currents = simulator.injected_currents(
+        activity, dt=dt, detailed=False)
+    _, detailed_currents = simulator.injected_currents(
+        activity, dt=dt, detailed=True)
+    return SwanComparison(
+        swan=simulator.propagate(time, macro_currents),
+        reference=simulator.propagate(time, detailed_currents),
+    )

@@ -1,0 +1,229 @@
+"""Optimization-based circuit sizing (the AMGIE engine).
+
+"Most of the basic techniques in both circuit and layout synthesis
+today rely on powerful numerical optimization engines coupled to
+evaluation engines" (section 4.2).  This module is the optimization
+half: a differential-evolution global search over the design
+variables, scoring candidates with the analytic evaluation engines of
+:mod:`repro.analog.circuits` through a penalty-based cost function.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import differential_evolution
+
+from ..technology.node import TechnologyNode
+from ..analog.circuits import (DetectorFrontend, DetectorFrontendDesign,
+                               FrontendPerformance, OtaDesign,
+                               OtaPerformance, SingleStageOta)
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One design variable with log-uniform search bounds."""
+
+    name: str
+    low: float
+    high: float
+    log_scale: bool = True
+
+    def __post_init__(self) -> None:
+        if self.low <= 0 or self.high <= self.low:
+            raise ValueError(
+                f"bad bounds for {self.name}: ({self.low}, {self.high})")
+
+    def decode(self, unit: float) -> float:
+        """Map a [0, 1] optimizer coordinate to a physical value."""
+        unit = min(max(unit, 0.0), 1.0)
+        if self.log_scale:
+            return self.low * (self.high / self.low) ** unit
+        return self.low + (self.high - self.low) * unit
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Outcome of one synthesis run."""
+
+    values: Dict[str, float]
+    performance: object
+    cost: float
+    n_evaluations: int
+    feasible: bool
+
+
+@dataclass
+class Specification:
+    """Performance spec: constraints plus an objective to minimize.
+
+    ``constraints`` maps a performance attribute to ("min"/"max",
+    bound); ``objective`` names the attribute to minimize once
+    feasible (typically ``power`` or ``area``).
+    """
+
+    constraints: Dict[str, Tuple[str, float]]
+    objective: str = "power"
+
+    def penalty(self, performance: object) -> float:
+        """Sum of normalized constraint violations (0 when feasible)."""
+        total = 0.0
+        for attr, (direction, bound) in self.constraints.items():
+            value = getattr(performance, attr)
+            if direction == "min":
+                if value < bound:
+                    total += (bound - value) / max(abs(bound), 1e-30)
+            elif direction == "max":
+                if value > bound:
+                    total += (value - bound) / max(abs(bound), 1e-30)
+            else:
+                raise ValueError(f"bad direction {direction!r}")
+        return total
+
+    def is_feasible(self, performance: object) -> bool:
+        """True when all constraints hold."""
+        return self.penalty(performance) == 0.0
+
+
+class CircuitSynthesizer:
+    """Generic AMGIE-style sizing loop.
+
+    Parameters
+    ----------
+    variables:
+        The free design variables and their ranges.
+    evaluate:
+        Callable mapping a {name: value} dict to a performance object
+        (one of the evaluation engines).  May raise ValueError for
+        infeasible geometry; those candidates are heavily penalized.
+    spec:
+        Constraints + objective.
+    """
+
+    PENALTY_WEIGHT = 1e3
+
+    def __init__(self, variables: Sequence[Variable],
+                 evaluate: Callable[[Dict[str, float]], object],
+                 spec: Specification):
+        if not variables:
+            raise ValueError("need at least one design variable")
+        self.variables = list(variables)
+        self.evaluate = evaluate
+        self.spec = spec
+        self._n_evaluations = 0
+
+    def _decode(self, x: np.ndarray) -> Dict[str, float]:
+        return {var.name: var.decode(float(u))
+                for var, u in zip(self.variables, x)}
+
+    def _cost(self, x: np.ndarray) -> float:
+        self._n_evaluations += 1
+        values = self._decode(x)
+        try:
+            performance = self.evaluate(values)
+        except ValueError:
+            return 1e12
+        penalty = self.spec.penalty(performance)
+        objective = getattr(performance, self.spec.objective)
+        # Normalize the objective so penalties always dominate.
+        return objective + self.PENALTY_WEIGHT * penalty \
+            * (abs(objective) + 1e-12)
+
+    def run(self, seed: Optional[int] = None, maxiter: int = 60,
+            popsize: int = 20) -> SynthesisResult:
+        """Run differential evolution; returns the best design."""
+        self._n_evaluations = 0
+        bounds = [(0.0, 1.0)] * len(self.variables)
+        result = differential_evolution(
+            self._cost, bounds, seed=seed, maxiter=maxiter,
+            popsize=popsize, tol=1e-8, polish=False, init="sobol")
+        values = self._decode(result.x)
+        performance = self.evaluate(values)
+        return SynthesisResult(
+            values=values,
+            performance=performance,
+            cost=float(result.fun),
+            n_evaluations=self._n_evaluations,
+            feasible=self.spec.is_feasible(performance),
+        )
+
+
+# --- ready-made synthesis setups ------------------------------------------
+
+def ota_synthesizer(node: TechnologyNode, load_capacitance: float,
+                    spec: Specification) -> CircuitSynthesizer:
+    """Sizing setup for the single-stage OTA."""
+    engine = SingleStageOta(node, load_capacitance)
+    f = node.feature_size
+
+    def evaluate(values: Dict[str, float]) -> OtaPerformance:
+        design = OtaDesign(
+            input_width=values["input_width"],
+            input_length=values["input_length"],
+            load_width=values["load_width"],
+            load_length=values["load_length"],
+            tail_current=values["tail_current"],
+        )
+        return engine.evaluate(design)
+
+    variables = [
+        Variable("input_width", 2 * f, 2000 * f),
+        Variable("input_length", f, 20 * f),
+        Variable("load_width", 2 * f, 1000 * f),
+        Variable("load_length", f, 40 * f),
+        Variable("tail_current", 1e-6, 5e-3),
+    ]
+    return CircuitSynthesizer(variables, evaluate, spec)
+
+
+def frontend_synthesizer(node: TechnologyNode,
+                         spec: Specification,
+                         detector_capacitance: float = 5e-12,
+                         detector_leakage: float = 1e-9
+                         ) -> CircuitSynthesizer:
+    """Sizing setup for the detector front-end of Fig. 8."""
+    engine = DetectorFrontend(node, detector_capacitance,
+                              detector_leakage)
+    f = node.feature_size
+
+    def evaluate(values: Dict[str, float]) -> FrontendPerformance:
+        design = DetectorFrontendDesign(
+            input_width=values["input_width"],
+            input_length=values["input_length"],
+            feedback_capacitance=values["feedback_capacitance"],
+            shaper_time_constant=values["shaper_time_constant"],
+            drain_current=values["drain_current"],
+        )
+        return engine.evaluate(design)
+
+    variables = [
+        Variable("input_width", 10 * f, 20000 * f),
+        Variable("input_length", f, 10 * f),
+        Variable("feedback_capacitance", 20e-15, 5e-12),
+        Variable("shaper_time_constant", 50e-9, 20e-6),
+        Variable("drain_current", 10e-6, 5e-3),
+    ]
+    return CircuitSynthesizer(variables, evaluate, spec)
+
+
+def default_ota_spec() -> Specification:
+    """A representative OTA spec (gain/GBW/PM/offset, minimize power)."""
+    return Specification(constraints={
+        "gain_db": ("min", 36.0),
+        "gbw_hz": ("min", 50e6),
+        "phase_margin_deg": ("min", 60.0),
+        "offset_sigma": ("max", 3e-3),
+        "swing": ("min", 0.2),
+    }, objective="power")
+
+
+def default_frontend_spec() -> Specification:
+    """A detector-front-end spec in the AMGIE paper's style."""
+    return Specification(constraints={
+        "enc_electrons": ("max", 1000.0),
+        "peaking_time": ("max", 3e-6),
+        "charge_gain": ("min", 1e12),     # 1 mV/fC
+    }, objective="power")

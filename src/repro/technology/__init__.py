@@ -1,0 +1,28 @@
+"""CMOS technology substrate: node parameters and material models."""
+
+from .node import TechnologyNode
+from .library import all_nodes, available_nodes, get_node, nodes_below
+from .materials import (
+    CONDUCTORS,
+    GATE_DIELECTRICS,
+    INTER_METAL_DIELECTRICS,
+    Conductor,
+    GateDielectric,
+    InterMetalDielectric,
+    rc_improvement,
+)
+
+__all__ = [
+    "TechnologyNode",
+    "all_nodes",
+    "available_nodes",
+    "get_node",
+    "nodes_below",
+    "CONDUCTORS",
+    "GATE_DIELECTRICS",
+    "INTER_METAL_DIELECTRICS",
+    "Conductor",
+    "GateDielectric",
+    "InterMetalDielectric",
+    "rc_improvement",
+]

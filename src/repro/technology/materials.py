@@ -1,0 +1,118 @@
+"""Material models: gate dielectrics, gate electrodes and interconnect.
+
+Section 2.2 of the paper notes that high-k gate dielectrics and metal
+gates reduce gate leakage (a physically thicker film gives the same
+capacitance), and section 2.3 that low-k inter-metal dielectrics and
+copper reduce interconnect delay and power.  This module provides the
+material database and the equivalent-oxide-thickness algebra those
+claims rest on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.constants import EPSILON_SIO2
+
+
+@dataclass(frozen=True)
+class GateDielectric:
+    """A gate-dielectric material.
+
+    Parameters
+    ----------
+    name:
+        Material name.
+    k:
+        Relative permittivity.
+    barrier_height:
+        Tunnelling barrier height for electrons [eV]; a higher barrier
+        exponentially suppresses gate leakage.
+    """
+
+    name: str
+    k: float
+    barrier_height: float
+
+    def physical_thickness_for_eot(self, eot: float) -> float:
+        """Physical film thickness [m] giving equivalent oxide thickness
+        ``eot`` [m] (same areal capacitance as SiO2 of thickness eot)."""
+        if eot <= 0:
+            raise ValueError(f"eot must be positive, got {eot}")
+        return eot * self.k / EPSILON_SIO2
+
+    def leakage_suppression_vs_sio2(self, eot: float,
+                                    alpha_sio2: float = 6.5e10) -> float:
+        """Gate-leakage reduction factor relative to SiO2 at the same EOT.
+
+        Uses the exponential thickness dependence of eq. 2: leakage
+        ~ exp(-alpha * t_phys), with alpha scaled by sqrt(barrier
+        height) relative to the SiO2 barrier (3.1 eV, WKB approximation).
+        Returns a factor >= 1 (how many times less leaky).
+        """
+        t_sio2 = eot
+        t_phys = self.physical_thickness_for_eot(eot)
+        alpha_mat = alpha_sio2 * math.sqrt(self.barrier_height / 3.1)
+        exponent = alpha_mat * t_phys - alpha_sio2 * t_sio2
+        return math.exp(exponent)
+
+
+@dataclass(frozen=True)
+class Conductor:
+    """An interconnect metal."""
+
+    name: str
+    resistivity: float  # ohm*m
+
+    def resistance_per_length(self, width: float, thickness: float) -> float:
+        """Wire resistance per unit length [ohm/m]."""
+        if width <= 0 or thickness <= 0:
+            raise ValueError("wire cross-section dimensions must be positive")
+        return self.resistivity / (width * thickness)
+
+
+@dataclass(frozen=True)
+class InterMetalDielectric:
+    """An inter-metal (back-end) dielectric."""
+
+    name: str
+    k: float
+
+
+GATE_DIELECTRICS: Dict[str, GateDielectric] = {
+    "SiO2": GateDielectric("SiO2", k=3.9, barrier_height=3.1),
+    "SiON": GateDielectric("SiON", k=5.0, barrier_height=2.8),
+    "Al2O3": GateDielectric("Al2O3", k=9.0, barrier_height=2.8),
+    "HfO2": GateDielectric("HfO2", k=22.0, barrier_height=1.5),
+    "ZrO2": GateDielectric("ZrO2", k=23.0, barrier_height=1.4),
+}
+
+CONDUCTORS: Dict[str, Conductor] = {
+    "Al": Conductor("Al", resistivity=2.65e-8),
+    "Cu": Conductor("Cu", resistivity=1.68e-8),
+    "W": Conductor("W", resistivity=5.60e-8),
+}
+
+INTER_METAL_DIELECTRICS: Dict[str, InterMetalDielectric] = {
+    "SiO2": InterMetalDielectric("SiO2", k=3.9),
+    "FSG": InterMetalDielectric("FSG", k=3.5),
+    "SiOC": InterMetalDielectric("SiOC", k=2.9),
+    "porous-low-k": InterMetalDielectric("porous-low-k", k=2.2),
+    "air-gap": InterMetalDielectric("air-gap", k=1.2),
+}
+
+
+def rc_improvement(old_conductor: str, new_conductor: str,
+                   old_dielectric: str, new_dielectric: str) -> float:
+    """Return the RC-delay reduction factor from a material change.
+
+    Wire delay is proportional to rho*k (eq. 3 with fixed geometry), so
+    the improvement factor is (rho_old*k_old)/(rho_new*k_new).
+    """
+    rho_old = CONDUCTORS[old_conductor].resistivity
+    rho_new = CONDUCTORS[new_conductor].resistivity
+    k_old = INTER_METAL_DIELECTRICS[old_dielectric].k
+    k_new = INTER_METAL_DIELECTRICS[new_dielectric].k
+    return (rho_old * k_old) / (rho_new * k_new)

@@ -1,0 +1,17 @@
+"""Thermal analysis: die thermal mesh and electrothermal feedback."""
+
+from .mesh import K_SILICON, ThermalMesh, ThermalStack
+from .electrothermal import (
+    ElectrothermalResult,
+    electrothermal_trend,
+    fixed_die_electrothermal_trend,
+    runaway_rth_threshold,
+    solve_operating_point,
+)
+
+__all__ = [
+    "K_SILICON", "ThermalMesh", "ThermalStack",
+    "ElectrothermalResult", "electrothermal_trend",
+    "fixed_die_electrothermal_trend",
+    "runaway_rth_threshold", "solve_operating_point",
+]

@@ -1,0 +1,206 @@
+"""Electrothermal feedback: leakage heats the die, heat breeds leakage.
+
+The nanometre-era positive feedback loop: subthreshold leakage grows
+exponentially with temperature (V_T drops, kT rises), dissipated
+leakage power raises the junction temperature through the package
+resistance, and around the 65 nm node the loop gain becomes large
+enough that poorly cooled designs *run away* -- a quantitative
+sharpening of the paper's leakage warning.
+
+The fixed-point iteration here couples
+:func:`repro.digital.energy.analytic_power_estimate` (leakage vs T
+through ``TechnologyNode.at_temperature``) with a lumped or meshed
+thermal model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..technology.node import TechnologyNode
+from ..digital.energy import analytic_power_estimate
+from .mesh import ThermalStack
+
+
+@dataclass(frozen=True)
+class ElectrothermalResult:
+    """Outcome of the self-consistent temperature iteration."""
+
+    converged: bool
+    runaway: bool
+    junction_temperature: float    # K (last iterate if runaway)
+    dynamic_power: float           # W
+    leakage_power: float           # W at the final temperature
+    leakage_power_cold: float      # W at ambient (no feedback)
+    n_iterations: int
+
+    @property
+    def total_power(self) -> float:
+        """Total power at the operating point [W]."""
+        return self.dynamic_power + self.leakage_power
+
+    @property
+    def feedback_amplification(self) -> float:
+        """Leakage at the hot point / leakage at ambient."""
+        if self.leakage_power_cold <= 0:
+            return 1.0
+        return self.leakage_power / self.leakage_power_cold
+
+
+def solve_operating_point(node: TechnologyNode,
+                          n_gates: int = 1_000_000,
+                          frequency: float = 1e9,
+                          activity: float = 0.1,
+                          stack: ThermalStack = ThermalStack(),
+                          max_iterations: int = 100,
+                          tolerance: float = 0.01,
+                          runaway_temperature: float = 500.0
+                          ) -> ElectrothermalResult:
+    """Find the self-consistent junction temperature of a design.
+
+    Fixed-point iteration: T -> leakage(T) -> power -> T' through the
+    package resistance.  Declares *runaway* when the iterate exceeds
+    ``runaway_temperature`` or fails to converge while still rising.
+    """
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be positive")
+    cold = analytic_power_estimate(
+        node.at_temperature(stack.ambient), n_gates, frequency,
+        activity)
+    dynamic = cold.dynamic + cold.short_circuit
+    leak_cold = cold.leakage
+
+    temperature = stack.ambient
+    leakage = leak_cold
+    for iteration in range(1, max_iterations + 1):
+        total = dynamic + leakage
+        new_temperature = stack.ambient \
+            + stack.rth_junction_to_ambient * total
+        if new_temperature > runaway_temperature:
+            return ElectrothermalResult(
+                converged=False, runaway=True,
+                junction_temperature=new_temperature,
+                dynamic_power=dynamic,
+                leakage_power=leakage,
+                leakage_power_cold=leak_cold,
+                n_iterations=iteration)
+        hot_node = node.at_temperature(new_temperature)
+        leakage = analytic_power_estimate(
+            hot_node, n_gates, frequency, activity).leakage
+        if abs(new_temperature - temperature) < tolerance:
+            return ElectrothermalResult(
+                converged=True, runaway=False,
+                junction_temperature=new_temperature,
+                dynamic_power=dynamic,
+                leakage_power=leakage,
+                leakage_power_cold=leak_cold,
+                n_iterations=iteration)
+        temperature = new_temperature
+    # Did not converge: rising iterates mean runaway, oscillation is
+    # reported as non-converged.
+    return ElectrothermalResult(
+        converged=False,
+        runaway=temperature > 0.9 * runaway_temperature,
+        junction_temperature=temperature,
+        dynamic_power=dynamic,
+        leakage_power=leakage,
+        leakage_power_cold=leak_cold,
+        n_iterations=max_iterations)
+
+
+def runaway_rth_threshold(node: TechnologyNode,
+                          n_gates: int = 1_000_000,
+                          frequency: float = 1e9,
+                          activity: float = 0.1,
+                          ambient: float = 318.0,
+                          rth_range: Optional[Sequence[float]] = None
+                          ) -> float:
+    """Package resistance [K/W] above which the design runs away.
+
+    Bisects over R_th: the cheapest-possible-package question.  A
+    smaller threshold at smaller nodes = cooling budgets must grow
+    just to stand still.
+    """
+    lo, hi = 0.1, 2000.0
+    if rth_range is not None:
+        lo, hi = rth_range
+
+    def runs_away(rth: float) -> bool:
+        stack = ThermalStack(rth_junction_to_ambient=rth,
+                             ambient=ambient)
+        return solve_operating_point(
+            node, n_gates, frequency, activity, stack).runaway
+
+    if not runs_away(hi):
+        return hi
+    if runs_away(lo):
+        return lo
+    for _ in range(40):
+        mid = math.sqrt(lo * hi)
+        if runs_away(mid):
+            hi = mid
+        else:
+            lo = mid
+    return lo
+
+
+def fixed_die_electrothermal_trend(nodes: Sequence[TechnologyNode],
+                                   die_area: float = 50e-6,
+                                   stack: ThermalStack = ThermalStack(),
+                                   max_frequency: float = 3e9
+                                   ) -> List[Dict[str, float]]:
+    """The broken constant-power-density promise, electrothermally.
+
+    Fill the same die area at each node (gate count scales with
+    density ~ S^2) and clock at each node's own achievable speed
+    (capped at ``max_frequency``).  Full scaling promised constant
+    power density; leakage + sub-full voltage scaling break it, and
+    the self-consistent junction temperature climbs node over node
+    until the loop runs away.
+
+    ``die_area`` in m^2 (default 50 mm^2).
+    """
+    from ..digital.delay import fo4_delay_model
+    rows = []
+    for node in nodes:
+        gate_area = (8 * node.wire_pitch) * (12 * node.wire_pitch)
+        n_gates = max(int(die_area / gate_area), 1)
+        f_clk = min(1.0 / (30.0 * fo4_delay_model(node).delay()),
+                    max_frequency)
+        result = solve_operating_point(node, n_gates, f_clk,
+                                       stack=stack)
+        rows.append({
+            "node": node.name,
+            "n_gates_M": n_gates / 1e6,
+            "f_clk_GHz": f_clk / 1e9,
+            "junction_C": result.junction_temperature - 273.15,
+            "total_power_W": result.total_power,
+            "power_density_W_cm2": result.total_power
+            / (die_area * 1e4),
+            "feedback_amplification": result.feedback_amplification,
+            "runaway": float(result.runaway),
+        })
+    return rows
+
+
+def electrothermal_trend(nodes: Sequence[TechnologyNode],
+                         n_gates: int = 1_000_000,
+                         frequency: float = 1e9,
+                         stack: ThermalStack = ThermalStack()
+                         ) -> List[Dict[str, float]]:
+    """Self-consistent junction temperature and feedback per node."""
+    rows = []
+    for node in nodes:
+        result = solve_operating_point(node, n_gates, frequency,
+                                       stack=stack)
+        rows.append({
+            "node": node.name,
+            "junction_K": result.junction_temperature,
+            "junction_C": result.junction_temperature - 273.15,
+            "leakage_W": result.leakage_power,
+            "feedback_amplification": result.feedback_amplification,
+            "runaway": float(result.runaway),
+        })
+    return rows

@@ -1,0 +1,169 @@
+"""Finite-difference die thermal model.
+
+Section 4.3 lists "thermal interactions" among the mixed-signal
+coupling channels.  This mesh is the thermal twin of the substrate
+solver: the die surface is tiled, each tile dissipates the power of
+the blocks above it, heat spreads laterally through the silicon and
+vertically through the package to the heatsink/ambient.
+
+The electrical analogy makes the machinery identical to
+:mod:`repro.substrate.mesh`: power = current, temperature rise =
+voltage, thermal conductance = electrical conductance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import factorized
+
+#: Thermal conductivity of silicon [W/(m*K)].
+K_SILICON = 130.0
+
+
+@dataclass(frozen=True)
+class ThermalStack:
+    """Vertical heat path from junction to ambient.
+
+    Parameters
+    ----------
+    die_thickness:
+        Silicon thickness [m] (lateral spreading layer).
+    rth_junction_to_ambient:
+        Package + heatsink thermal resistance [K/W] for the whole
+        die.
+    ambient:
+        Ambient temperature [K].
+    """
+
+    die_thickness: float = 300e-6
+    rth_junction_to_ambient: float = 20.0
+    ambient: float = 318.0     # 45 C in-system ambient
+
+    def __post_init__(self) -> None:
+        if self.die_thickness <= 0 or self.rth_junction_to_ambient <= 0:
+            raise ValueError("stack parameters must be positive")
+        if self.ambient <= 0:
+            raise ValueError("ambient must be positive kelvin")
+
+
+class ThermalMesh:
+    """2-D surface thermal mesh of a die.
+
+    Lateral conduction through the silicon slab; each tile also
+    connects to the ambient node through its share of the package
+    resistance.  ``solve`` maps a power map to a temperature map.
+    """
+
+    def __init__(self, die_width: float, die_height: float,
+                 nx: int = 20, ny: int = 20,
+                 stack: ThermalStack = ThermalStack()):
+        if die_width <= 0 or die_height <= 0:
+            raise ValueError("die dimensions must be positive")
+        if nx < 2 or ny < 2:
+            raise ValueError("mesh must be at least 2x2")
+        self.die_width = die_width
+        self.die_height = die_height
+        self.nx = nx
+        self.ny = ny
+        self.stack = stack
+        self.dx = die_width / nx
+        self.dy = die_height / ny
+        self._solver = None
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of surface tiles."""
+        return self.nx * self.ny
+
+    def node_at(self, x: float, y: float) -> int:
+        """Tile index containing position (x, y)."""
+        i = min(max(int(x / self.dx), 0), self.nx - 1)
+        j = min(max(int(y / self.dy), 0), self.ny - 1)
+        return j * self.nx + i
+
+    def _lateral_conductance(self, horizontal: bool) -> float:
+        thickness = self.stack.die_thickness
+        if horizontal:
+            return K_SILICON * thickness * self.dy / self.dx
+        return K_SILICON * thickness * self.dx / self.dy
+
+    def _vertical_conductance(self) -> float:
+        """Per-tile conductance to ambient [W/K]."""
+        total = 1.0 / self.stack.rth_junction_to_ambient
+        return total / self.n_nodes
+
+    def conductance_matrix(self) -> sparse.csc_matrix:
+        """Assemble the thermal conductance matrix."""
+        n = self.n_nodes
+        g_h = self._lateral_conductance(True)
+        g_v = self._lateral_conductance(False)
+        g_down = self._vertical_conductance()
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+
+        def stamp(a: int, b: int, g: float) -> None:
+            rows.extend((a, b, a, b))
+            cols.extend((a, b, b, a))
+            vals.extend((g, g, -g, -g))
+
+        for j in range(self.ny):
+            for i in range(self.nx):
+                node = j * self.nx + i
+                if i + 1 < self.nx:
+                    stamp(node, node + 1, g_h)
+                if j + 1 < self.ny:
+                    stamp(node, node + self.nx, g_v)
+        rows.extend(range(n))
+        cols.extend(range(n))
+        vals.extend([g_down] * n)
+        return sparse.csc_matrix((vals, (rows, cols)), shape=(n, n))
+
+    def solve(self, power_map: np.ndarray) -> np.ndarray:
+        """Temperature [K] per tile for a per-tile power map [W]."""
+        power_map = np.asarray(power_map, dtype=float)
+        if power_map.shape != (self.n_nodes,):
+            raise ValueError(
+                f"power_map must have shape ({self.n_nodes},)")
+        if np.any(power_map < 0):
+            raise ValueError("power_map entries must be non-negative")
+        if self._solver is None:
+            self._solver = factorized(self.conductance_matrix())
+        rise = self._solver(power_map)
+        return self.stack.ambient + rise
+
+    def uniform_power_map(self, total_power: float) -> np.ndarray:
+        """Spread ``total_power`` [W] evenly over the die."""
+        if total_power < 0:
+            raise ValueError("total_power must be non-negative")
+        return np.full(self.n_nodes, total_power / self.n_nodes)
+
+    def block_power_map(self, blocks: Sequence[Tuple[float, float,
+                                                     float, float,
+                                                     float]]
+                        ) -> np.ndarray:
+        """Power map from (x1, y1, x2, y2, watts) block tuples."""
+        power = np.zeros(self.n_nodes)
+        for x1, y1, x2, y2, watts in blocks:
+            if watts < 0:
+                raise ValueError("block power must be non-negative")
+            tiles = [j * self.nx + i
+                     for j in range(self.ny)
+                     for i in range(self.nx)
+                     if (x1 <= (i + 0.5) * self.dx < x2
+                         and y1 <= (j + 0.5) * self.dy < y2)]
+            if tiles:
+                for tile in tiles:
+                    power[tile] += watts / len(tiles)
+        return power
+
+    def hotspot(self, power_map: np.ndarray) -> Tuple[int, float]:
+        """(tile index, temperature [K]) of the hottest tile."""
+        temperatures = self.solve(power_map)
+        index = int(np.argmax(temperatures))
+        return index, float(temperatures[index])

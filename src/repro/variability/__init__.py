@@ -1,0 +1,58 @@
+"""Process variability: dopant statistics, LER, Pelgrom matching, MC."""
+
+from .dopants import (
+    DopantPlacementModel,
+    PlacedDopants,
+    channel_dopant_count,
+    dopant_count_sigma,
+    dopant_count_vs_length,
+    vth_sigma_from_rdf,
+)
+from .ler import (
+    LerParameters,
+    current_spread_from_ler,
+    effective_length_profile,
+    generate_edge,
+    relative_ler_trend,
+)
+from .pelgrom import (
+    MismatchSample,
+    MismatchSampler,
+    area_for_matching,
+    matching_area_trend,
+    offset_sigma_diff_pair,
+    sigma_delta_beta,
+    sigma_delta_vth,
+)
+from .spatial import (
+    SpatialSpec,
+    VtMap,
+    common_centroid_benefit,
+    matching_vs_distance,
+    sample_vt_map,
+)
+from .statistical import (
+    MonteCarloSampler,
+    SampledDevice,
+    SampledDie,
+    VariationSpec,
+    YieldResult,
+    monte_carlo_yield,
+    relative_variability_trend,
+    worst_case_value,
+)
+
+__all__ = [
+    "DopantPlacementModel", "PlacedDopants", "channel_dopant_count",
+    "dopant_count_sigma", "dopant_count_vs_length", "vth_sigma_from_rdf",
+    "LerParameters", "current_spread_from_ler", "effective_length_profile",
+    "generate_edge", "relative_ler_trend",
+    "MismatchSample", "MismatchSampler", "area_for_matching",
+    "matching_area_trend", "offset_sigma_diff_pair", "sigma_delta_beta",
+    "sigma_delta_vth",
+    "SpatialSpec", "VtMap", "common_centroid_benefit",
+    "matching_vs_distance", "sample_vt_map",
+    "MonteCarloSampler", "SampledDevice", "SampledDie", "VariationSpec",
+    "YieldResult", "monte_carlo_yield", "relative_variability_trend",
+    "worst_case_value",
+]

@@ -1,0 +1,136 @@
+"""Pelgrom-law device matching (intra-die variability).
+
+The workhorse mismatch model of analog design, and the origin of the
+"mismatch limit" in the paper's eq. 4 / Fig. 6:
+
+    sigma(delta_VT)   = A_VT   / sqrt(W*L)
+    sigma(delta_beta)/beta = A_beta / sqrt(W*L)
+
+with an optional distance term for far-apart devices.  The A_VT
+coefficient improves roughly proportionally to t_ox with scaling --
+the "mismatch improves slightly" observation in section 4.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..technology.node import TechnologyNode
+
+
+@dataclass(frozen=True)
+class MismatchSample:
+    """One sampled device-pair mismatch."""
+
+    delta_vth: float       # V
+    delta_beta_rel: float  # relative current-factor error
+
+
+def sigma_delta_vth(node: TechnologyNode, width: float, length: float,
+                    distance: float = 0.0,
+                    distance_coefficient: float = 1e-6) -> float:
+    """Pelgrom sigma of the V_T difference of a device pair [V].
+
+    ``distance_coefficient`` [V/m] adds the long-range gradient term:
+    sigma^2 = (A_VT^2)/(W*L) + (S_VT * D)^2.
+    """
+    if width <= 0 or length <= 0:
+        raise ValueError("device dimensions must be positive")
+    area_term = node.avt ** 2 / (width * length)
+    dist_term = (distance_coefficient * distance) ** 2
+    return math.sqrt(area_term + dist_term)
+
+
+def sigma_delta_beta(node: TechnologyNode, width: float,
+                     length: float) -> float:
+    """Pelgrom sigma of the relative current-factor difference."""
+    if width <= 0 or length <= 0:
+        raise ValueError("device dimensions must be positive")
+    return node.abeta / math.sqrt(width * length)
+
+
+def area_for_matching(node: TechnologyNode, sigma_vth_target: float) -> float:
+    """Gate area W*L [m^2] needed to reach a target sigma_VT.
+
+    This is the key inversion behind the paper's analog-area argument:
+    accuracy requirements, not the technology, set analog device area,
+    so analog blocks do not shrink with scaling.
+    """
+    if sigma_vth_target <= 0:
+        raise ValueError("sigma_vth_target must be positive")
+    return (node.avt / sigma_vth_target) ** 2
+
+
+def matching_area_trend(nodes: Sequence[TechnologyNode],
+                        sigma_vth_target: float = 1e-3
+                        ) -> List[Dict[str, float]]:
+    """Required matched-pair area per node vs the minimum device area.
+
+    The ratio explodes with scaling: matched area shrinks only with
+    A_VT (~t_ox) while minimum area shrinks with L^2.
+    """
+    rows = []
+    for node in nodes:
+        required = area_for_matching(node, sigma_vth_target)
+        minimum = node.feature_size ** 2
+        rows.append({
+            "node": node.name,
+            "required_area_um2": required * 1e12,
+            "min_device_area_um2": minimum * 1e12,
+            "area_ratio": required / minimum,
+        })
+    return rows
+
+
+class MismatchSampler:
+    """Draws correlated (delta_VT, delta_beta) mismatch samples."""
+
+    def __init__(self, node: TechnologyNode, width: float, length: float,
+                 correlation: float = 0.0,
+                 seed: Optional[int] = None):
+        if not -1.0 <= correlation <= 1.0:
+            raise ValueError("correlation must be in [-1, 1]")
+        self.node = node
+        self.width = width
+        self.length = length
+        self.correlation = correlation
+        self.rng = np.random.default_rng(seed)
+        self._sigma_vth = sigma_delta_vth(node, width, length)
+        self._sigma_beta = sigma_delta_beta(node, width, length)
+
+    def sample(self) -> MismatchSample:
+        """Draw one device-pair mismatch."""
+        z1, z2 = self.rng.standard_normal(2)
+        z2 = self.correlation * z1 + math.sqrt(
+            1 - self.correlation ** 2) * z2
+        return MismatchSample(delta_vth=self._sigma_vth * z1,
+                              delta_beta_rel=self._sigma_beta * z2)
+
+    def sample_many(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` samples; returns (delta_vth, delta_beta)."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        z = self.rng.standard_normal((2, count))
+        z[1] = self.correlation * z[0] + math.sqrt(
+            1 - self.correlation ** 2) * z[1]
+        return self._sigma_vth * z[0], self._sigma_beta * z[1]
+
+
+def offset_sigma_diff_pair(node: TechnologyNode, width: float,
+                           length: float, gm_over_id: float = 10.0,
+                           include_beta: bool = True) -> float:
+    """Input-referred offset sigma [V] of a differential pair.
+
+    sigma_off^2 = sigma_VT^2 + (sigma_beta / (gm/Id))^2 -- the V_T term
+    dominates for realistic bias points, which is why A_VT alone sets
+    the mismatch limit in Fig. 6.
+    """
+    svt = sigma_delta_vth(node, width, length)
+    if not include_beta:
+        return svt
+    sbeta = sigma_delta_beta(node, width, length)
+    return math.sqrt(svt ** 2 + (sbeta / gm_over_id) ** 2)

@@ -1,0 +1,183 @@
+"""Statistical design framework: inter-die + intra-die Monte Carlo.
+
+Section 2.4 of the paper splits process variability into *inter-die*
+(common to all devices on a die) and *intra-die* (device mismatch) and
+notes that circuit-level countermeasures differ for each.  This module
+provides the sampling machinery both digital (Fig. 4, worst-case
+sizing) and analog (mismatch budgets) analyses use, plus simple yield
+estimators in the spirit of the statistical-design reference [8].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..technology.node import TechnologyNode
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """One-sigma magnitudes of the modelled process variations.
+
+    ``vth_inter``/``vth_intra`` are absolute [V]; the geometric terms
+    are relative fractions.  ``vth_intra`` is the sigma of a
+    *minimum-size* device; larger devices are de-rated by
+    sqrt(area_min/area) per Pelgrom.
+    """
+
+    vth_inter: float = 0.015
+    vth_intra: float = 0.0          # 0 -> derive from node A_VT
+    length_inter_rel: float = 0.04
+    length_intra_rel: float = 0.02
+    tox_inter_rel: float = 0.02
+
+    def intra_sigma_vth(self, node: TechnologyNode, width: float,
+                        length: float) -> float:
+        """Intra-die sigma_VT for a W x L device [V]."""
+        if self.vth_intra > 0:
+            min_area = node.feature_size ** 2 * 2.0
+            return self.vth_intra * math.sqrt(min_area / (width * length))
+        return node.avt / math.sqrt(width * length)
+
+
+@dataclass
+class SampledDevice:
+    """Per-device sampled deviations (additive/relative)."""
+
+    vth_offset: float
+    length_factor: float
+
+
+@dataclass
+class SampledDie:
+    """One die: global shifts plus per-device draws on demand."""
+
+    node: TechnologyNode
+    spec: VariationSpec
+    vth_global: float
+    length_factor_global: float
+    tox_factor_global: float
+    rng: np.random.Generator = field(repr=False, default=None)
+
+    def sample_device(self, width: float,
+                      length: Optional[float] = None) -> SampledDevice:
+        """Draw one device's total (inter + intra) deviation."""
+        length = length if length is not None else self.node.feature_size
+        sigma_intra = self.spec.intra_sigma_vth(self.node, width, length)
+        return SampledDevice(
+            vth_offset=self.vth_global
+            + sigma_intra * self.rng.standard_normal(),
+            length_factor=self.length_factor_global
+            * (1.0 + self.spec.length_intra_rel
+               * self.rng.standard_normal()),
+        )
+
+    def effective_node(self) -> TechnologyNode:
+        """Node shifted by this die's global variations only."""
+        return self.node.with_overrides(
+            name=f"{self.node.name}@die",
+            vth=self.node.vth + self.vth_global,
+            feature_size=self.node.feature_size * self.length_factor_global,
+            tox=self.node.tox * self.tox_factor_global,
+        )
+
+
+class MonteCarloSampler:
+    """Two-level (die, device) Monte Carlo process sampler."""
+
+    def __init__(self, node: TechnologyNode,
+                 spec: VariationSpec = VariationSpec(),
+                 seed: Optional[int] = None):
+        self.node = node
+        self.spec = spec
+        self.rng = np.random.default_rng(seed)
+
+    def sample_die(self) -> SampledDie:
+        """Draw one die's global (inter-die) shifts."""
+        return SampledDie(
+            node=self.node,
+            spec=self.spec,
+            vth_global=self.spec.vth_inter * self.rng.standard_normal(),
+            length_factor_global=1.0 + self.spec.length_inter_rel
+            * self.rng.standard_normal(),
+            tox_factor_global=1.0 + self.spec.tox_inter_rel
+            * self.rng.standard_normal(),
+            rng=self.rng,
+        )
+
+    def sample_dies(self, count: int) -> List[SampledDie]:
+        """Draw ``count`` dies."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        return [self.sample_die() for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class YieldResult:
+    """Outcome of a Monte Carlo yield run."""
+
+    n_samples: int
+    n_pass: int
+
+    @property
+    def yield_fraction(self) -> float:
+        """Fraction of samples meeting spec."""
+        return self.n_pass / self.n_samples
+
+    @property
+    def sigma_level(self) -> float:
+        """Equivalent one-sided Gaussian sigma of the yield."""
+        from scipy.stats import norm
+        frac = min(max(self.yield_fraction, 1e-12), 1 - 1e-12)
+        return float(norm.ppf(frac))
+
+
+def monte_carlo_yield(sampler: MonteCarloSampler,
+                      metric: Callable[[SampledDie], float],
+                      limit: float,
+                      n_dies: int = 500,
+                      upper_is_fail: bool = True) -> YieldResult:
+    """Estimate parametric yield of ``metric`` against ``limit``.
+
+    ``metric`` maps a sampled die to a scalar performance (e.g. a
+    critical-path delay); a die passes when the metric is on the good
+    side of ``limit``.
+    """
+    if n_dies < 1:
+        raise ValueError("n_dies must be positive")
+    n_pass = 0
+    for _ in range(n_dies):
+        value = metric(sampler.sample_die())
+        ok = value <= limit if upper_is_fail else value >= limit
+        n_pass += int(ok)
+    return YieldResult(n_samples=n_dies, n_pass=n_pass)
+
+
+def worst_case_value(nominal: float, sigma: float, n_sigma: float = 3.0,
+                     upper: bool = True) -> float:
+    """Classic worst-case corner value: nominal +/- n_sigma * sigma."""
+    return nominal + (n_sigma if upper else -n_sigma) * sigma
+
+
+def relative_variability_trend(nodes: Sequence[TechnologyNode],
+                               absolute_sigma_vth: float = 0.015
+                               ) -> List[Dict[str, float]]:
+    """The paper's central variability claim, quantified per node:
+
+    the same absolute sigma_VT consumes a growing fraction of both V_T
+    itself and of the gate overdrive V_DD - V_T.
+    """
+    rows = []
+    for node in nodes:
+        rows.append({
+            "node": node.name,
+            "vth_V": node.vth,
+            "overdrive_V": node.overdrive,
+            "sigma_over_vth": absolute_sigma_vth / node.vth,
+            "sigma_over_overdrive": absolute_sigma_vth / node.overdrive,
+        })
+    return rows

@@ -1,0 +1,116 @@
+"""Tests for the behavioural pipeline ADC."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analog import (PipelineAdc, PipelineStage,
+                          enob_vs_device_area, sine_test)
+from repro.technology import get_node
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_node("65nm")
+
+
+@pytest.fixture(scope="module")
+def ideal(node):
+    return PipelineAdc(node, n_stages=9)
+
+
+class TestStage:
+    def test_ideal_decisions(self):
+        stage = PipelineStage()
+        assert stage.convert(-0.6, 1.0)[0] == -1
+        assert stage.convert(0.0, 1.0)[0] == 0
+        assert stage.convert(0.6, 1.0)[0] == 1
+
+    def test_residue_gain_of_two(self):
+        stage = PipelineStage()
+        _, residue = stage.convert(0.1, 1.0)
+        assert residue == pytest.approx(0.2)
+
+    def test_gain_error_scales_residue(self):
+        stage = PipelineStage(gain_error=0.01)
+        _, residue = stage.convert(0.1, 1.0)
+        assert residue == pytest.approx(0.202)
+
+
+class TestConversion:
+    def test_monotone_on_ramp(self, ideal):
+        ramp = np.linspace(-0.9, 0.9, 201)
+        codes = ideal.convert_array(ramp)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_code_range_spans_bits(self, ideal):
+        extremes = ideal.convert_array(np.array([-0.99, 0.99]))
+        span = extremes[1] - extremes[0]
+        assert span > 2 ** (ideal.n_bits - 1)
+
+    def test_zero_input_near_zero_code(self, ideal):
+        assert abs(ideal.convert(0.0)) <= 2
+
+    def test_mismatch_draw_reproducible(self, node):
+        a = PipelineAdc(node, device_area=1e-13, seed=9)
+        b = PipelineAdc(node, device_area=1e-13, seed=9)
+        assert a.stages[0].gain_error == b.stages[0].gain_error
+
+    def test_validation(self, node):
+        with pytest.raises(ValueError):
+            PipelineAdc(node, n_stages=1)
+        with pytest.raises(ValueError):
+            PipelineAdc(node, v_ref=0.0)
+
+
+class TestSineTest:
+    def test_ideal_near_nominal_bits(self, ideal):
+        result = sine_test(ideal, n_samples=2048, cycles=67)
+        assert result.enob > ideal.n_bits - 1.0
+
+    def test_mismatch_costs_bits(self, node, ideal):
+        dirty = PipelineAdc(node, n_stages=9,
+                            device_area=(4 * node.feature_size) ** 2,
+                            seed=0)
+        clean = sine_test(ideal, n_samples=2048, cycles=67)
+        noisy = sine_test(dirty, n_samples=2048, cycles=67)
+        assert noisy.enob < clean.enob - 1.0
+
+    def test_calibration_recovers_bits(self, node):
+        dirty = PipelineAdc(node, n_stages=9,
+                            device_area=(4 * node.feature_size) ** 2,
+                            seed=0)
+        raw = sine_test(dirty, n_samples=2048, cycles=67)
+        fixed = sine_test(dirty, n_samples=2048, cycles=67,
+                          calibrated=True)
+        assert fixed.enob > raw.enob + 0.5
+
+    def test_coherence_validation(self, ideal):
+        with pytest.raises(ValueError):
+            sine_test(ideal, n_samples=2048, cycles=64)
+
+    def test_corrected_output_requires_calibration(self, node):
+        adc = PipelineAdc(node, n_stages=4)
+        with pytest.raises(RuntimeError):
+            adc.corrected_output(np.array([0.0]))
+
+
+class TestEnobVsArea:
+    def test_raw_enob_monotone_in_area(self, node):
+        rows = enob_vs_device_area(node, area_factors=(1, 16, 64),
+                                   seed=1, n_samples=1024,
+                                   cycles=33)
+        raw = [row["enob_raw"] for row in rows]
+        assert raw == sorted(raw)
+
+    def test_calibration_beats_raw_everywhere(self, node):
+        rows = enob_vs_device_area(node, area_factors=(1, 16),
+                                   seed=1, n_samples=1024, cycles=33)
+        for row in rows:
+            assert row["enob_calibrated"] >= row["enob_raw"]
+
+    def test_small_devices_lose_bits(self, node):
+        rows = enob_vs_device_area(node, area_factors=(1,), seed=2,
+                                   n_samples=1024, cycles=33)
+        assert rows[0]["enob_raw"] < rows[0]["nominal_bits"] - 1.5

@@ -1,0 +1,189 @@
+"""Tests for noise budgets and the analytic circuit evaluation engines."""
+
+import math
+
+import pytest
+
+from repro.analog import (DetectorFrontend, DetectorFrontendDesign,
+                          MillerOta, OtaDesign, SingleStageOta,
+                          capacitance_for_snr, corner_frequency,
+                          enob_from_snr, flicker_noise_density,
+                          ktc_noise_voltage, noise_budget, snr_from_enob,
+                          snr_from_noise, thermal_noise_density_mosfet)
+from repro.technology import get_node
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_node("180nm")
+
+
+class TestKtc:
+    def test_1pf_at_300k(self):
+        """kT/C on 1 pF: the canonical 64 uV."""
+        assert ktc_noise_voltage(1e-12) == pytest.approx(64e-6, rel=0.02)
+
+    def test_larger_cap_less_noise(self):
+        assert ktc_noise_voltage(4e-12) == pytest.approx(
+            ktc_noise_voltage(1e-12) / 2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ktc_noise_voltage(0.0)
+
+    def test_capacitance_for_snr_inverse(self):
+        cap = capacitance_for_snr(60.0, 0.5, margin_db=0.0)
+        noise = ktc_noise_voltage(cap)
+        assert snr_from_noise(0.5, noise) == pytest.approx(60.0,
+                                                           abs=0.01)
+
+
+class TestDeviceNoise:
+    def test_thermal_psd_inverse_gm(self):
+        assert thermal_noise_density_mosfet(2e-3) == pytest.approx(
+            thermal_noise_density_mosfet(1e-3) / 2.0)
+
+    def test_flicker_inverse_area_and_frequency(self):
+        base = flicker_noise_density(1e-25, 5e-3, 1e-6, 1e-6, 1e3)
+        assert flicker_noise_density(1e-25, 5e-3, 2e-6, 1e-6, 1e3) \
+            == pytest.approx(base / 2.0)
+        assert flicker_noise_density(1e-25, 5e-3, 1e-6, 1e-6, 2e3) \
+            == pytest.approx(base / 2.0)
+
+    def test_corner_frequency_positive(self):
+        assert corner_frequency(1e-25, 5e-3, 1e-6, 1e-6, 1e-3) > 0
+
+
+class TestSnrMath:
+    def test_enob_roundtrip(self):
+        assert enob_from_snr(snr_from_enob(12.0)) == pytest.approx(12.0)
+
+    def test_noise_budget_total_capacitance(self):
+        budget = noise_budget(70.0, 0.5, n_stages=3)
+        assert budget["total_capacitance_F"] == pytest.approx(
+            3.0 * budget["per_stage_capacitance_F"])
+
+    def test_budget_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            noise_budget(70.0, 0.5, n_stages=0)
+
+
+@pytest.fixture(scope="module")
+def ota_design():
+    return OtaDesign(input_width=20e-6, input_length=0.5e-6,
+                     load_width=10e-6, load_length=1e-6,
+                     tail_current=100e-6)
+
+
+class TestSingleStageOta:
+    def test_performance_physical(self, node, ota_design):
+        perf = SingleStageOta(node, 2e-12).evaluate(ota_design)
+        assert 20 < perf.gain_db < 80
+        assert perf.gbw_hz > 1e6
+        assert 0 < perf.phase_margin_deg <= 90
+        assert perf.power > 0
+
+    def test_more_current_more_gbw(self, node, ota_design):
+        import dataclasses
+        ota = SingleStageOta(node, 2e-12)
+        hot = dataclasses.replace(ota_design, tail_current=400e-6)
+        assert ota.evaluate(hot).gbw_hz \
+            > ota.evaluate(ota_design).gbw_hz
+
+    def test_bigger_load_cap_slower(self, node, ota_design):
+        fast = SingleStageOta(node, 1e-12).evaluate(ota_design)
+        slow = SingleStageOta(node, 4e-12).evaluate(ota_design)
+        assert slow.gbw_hz < fast.gbw_hz
+        assert slow.slew_rate < fast.slew_rate
+
+    def test_bigger_devices_less_offset(self, node, ota_design):
+        import dataclasses
+        ota = SingleStageOta(node, 2e-12)
+        big = dataclasses.replace(
+            ota_design, input_width=80e-6, input_length=1e-6,
+            load_width=40e-6, load_length=2e-6)
+        assert ota.evaluate(big).offset_sigma \
+            < ota.evaluate(ota_design).offset_sigma
+
+    def test_spec_check(self, node, ota_design):
+        perf = SingleStageOta(node, 2e-12).evaluate(ota_design)
+        assert perf.meets({"gain_db": perf.gain_db - 1.0})
+        assert not perf.meets({"gain_db": perf.gain_db + 10.0})
+
+    def test_rejects_sub_feature_sizing(self, node):
+        bad = OtaDesign(1e-9, 1e-9, 1e-6, 1e-6, 1e-4)
+        with pytest.raises(ValueError):
+            SingleStageOta(node, 1e-12).evaluate(bad)
+
+    def test_rejects_bad_load(self, node):
+        with pytest.raises(ValueError):
+            SingleStageOta(node, 0.0)
+
+
+class TestMillerOta:
+    def test_more_gain_than_single_stage(self, node, ota_design):
+        single = SingleStageOta(node, 2e-12).evaluate(ota_design)
+        miller = MillerOta(node, 2e-12).evaluate(ota_design)
+        assert miller.gain_db > single.gain_db + 20.0
+
+    def test_more_power_than_single_stage(self, node, ota_design):
+        single = SingleStageOta(node, 2e-12).evaluate(ota_design)
+        miller = MillerOta(node, 2e-12).evaluate(ota_design)
+        assert miller.power > single.power
+
+
+class TestDetectorFrontend:
+    def make_design(self, **overrides):
+        params = dict(input_width=500e-6, input_length=0.5e-6,
+                      feedback_capacitance=0.5e-12,
+                      shaper_time_constant=1e-6,
+                      drain_current=300e-6)
+        params.update(overrides)
+        return DetectorFrontendDesign(**params)
+
+    def test_enc_realistic(self, node):
+        perf = DetectorFrontend(node).evaluate(self.make_design())
+        assert 20 < perf.enc_electrons < 5000
+
+    def test_more_current_less_series_noise(self, node):
+        engine = DetectorFrontend(node)
+        lo = engine.evaluate(self.make_design(drain_current=50e-6))
+        hi = engine.evaluate(self.make_design(drain_current=1e-3))
+        assert hi.enc_electrons < lo.enc_electrons
+
+    def test_enc_vs_tau_is_u_shaped(self, node):
+        """Series noise ~ 1/tau, parallel ~ tau: a minimum exists."""
+        engine = DetectorFrontend(node, detector_leakage=10e-9)
+        taus = [50e-9, 200e-9, 1e-6, 5e-6, 20e-6]
+        encs = [engine.evaluate(
+            self.make_design(shaper_time_constant=t)).enc_electrons
+            for t in taus]
+        best = encs.index(min(encs))
+        assert 0 < best < len(taus) - 1
+
+    def test_bigger_detector_more_noise(self):
+        node = get_node("350nm")
+        small = DetectorFrontend(node, detector_capacitance=2e-12)
+        big = DetectorFrontend(node, detector_capacitance=20e-12)
+        design = self.make_design()
+        assert big.evaluate(design).enc_electrons \
+            > small.evaluate(design).enc_electrons
+
+    def test_charge_gain_inverse_feedback_cap(self, node):
+        engine = DetectorFrontend(node)
+        lo = engine.evaluate(self.make_design(
+            feedback_capacitance=1e-12))
+        hi = engine.evaluate(self.make_design(
+            feedback_capacitance=0.25e-12))
+        assert hi.charge_gain == pytest.approx(4.0 * lo.charge_gain)
+
+    def test_spec_check(self, node):
+        perf = DetectorFrontend(node).evaluate(self.make_design())
+        assert perf.meets({"enc_electrons": perf.enc_electrons + 1})
+        assert not perf.meets({"enc_electrons": 1.0})
+
+    def test_validation(self, node):
+        with pytest.raises(ValueError):
+            DetectorFrontend(node, detector_capacitance=0.0)
+        with pytest.raises(ValueError):
+            self.make_design(drain_current=0.0).validate(node)

@@ -1,0 +1,76 @@
+"""Tests for the end-of-road composite analysis."""
+
+import pytest
+
+from repro.core.endofroad import (end_of_road_table, find_diminishing_node,
+                                  node_scorecard)
+from repro.technology import all_nodes, get_node
+
+
+@pytest.fixture(scope="module")
+def table():
+    return end_of_road_table(all_nodes())
+
+
+class TestScorecard:
+    def test_scorecard_fields_physical(self):
+        card = node_scorecard(get_node("65nm"))
+        assert card.gate_speed > 0
+        assert 0 <= card.leakage_fraction < 1
+        assert card.worst_case_energy_penalty >= 1.0
+        assert card.sync_region_mm > 0
+
+    def test_speed_improves_with_scaling(self):
+        old = node_scorecard(get_node("350nm"))
+        new = node_scorecard(get_node("65nm"))
+        assert new.gate_speed > old.gate_speed
+
+    def test_leakage_fraction_grows_with_scaling(self):
+        old = node_scorecard(get_node("180nm"))
+        new = node_scorecard(get_node("45nm"))
+        assert new.leakage_fraction > old.leakage_fraction
+
+    def test_variability_pressure_grows(self):
+        old = node_scorecard(get_node("350nm"))
+        new = node_scorecard(get_node("45nm"))
+        assert new.sigma_vt_over_overdrive > old.sigma_vt_over_overdrive
+
+    def test_body_bias_effectiveness_shrinks(self):
+        old = node_scorecard(get_node("350nm"))
+        new = node_scorecard(get_node("45nm"))
+        assert new.body_bias_delta_vth < old.body_bias_delta_vth
+
+
+class TestTable:
+    def test_one_row_per_node(self, table):
+        assert len(table) == len(all_nodes())
+
+    def test_first_row_has_no_benefit_column(self, table):
+        assert "benefit_vs_prev" not in table[0]
+        assert all("benefit_vs_prev" in row for row in table[1:])
+
+    def test_sync_region_shrinks_monotonically(self, table):
+        regions = [row["sync_region_mm"] for row in table]
+        assert regions == sorted(regions, reverse=True)
+
+    def test_leakage_crosses_ten_percent_by_65nm(self, table):
+        """The paper's 'can no longer be ignored' at the 65 nm marker."""
+        by_name = {row["node"]: row for row in table}
+        assert by_name["65nm"]["leakage_fraction"] > 0.05
+        assert by_name["180nm"]["leakage_fraction"] < 0.05
+
+    def test_worst_case_penalty_grows(self, table):
+        first, last = table[0], table[-1]
+        assert last["wc_energy_penalty"] > first["wc_energy_penalty"]
+
+    def test_empty_input(self):
+        assert end_of_road_table([]) == []
+
+
+class TestDiminishingNode:
+    def test_impossible_threshold_returns_none(self):
+        assert find_diminishing_node(all_nodes(), threshold=0.0) is None
+
+    def test_absurd_threshold_flags_first_transition(self):
+        name = find_diminishing_node(all_nodes(), threshold=100.0)
+        assert name == all_nodes()[1].name

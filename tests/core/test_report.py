@@ -1,0 +1,53 @@
+"""Tests for the markdown reproduction-report generator."""
+
+import io
+
+import pytest
+
+from repro.core import generate_report, write_report
+from repro.technology import get_node
+
+
+@pytest.fixture(scope="module")
+def report():
+    # A three-node subset keeps the test fast while covering the
+    # micron, transition and nanometre regimes.
+    nodes = [get_node("180nm"), get_node("90nm"), get_node("45nm")]
+    return generate_report(nodes)
+
+
+class TestReport:
+    def test_has_all_sections(self, report):
+        for heading in ("## 1. Leakage", "## 2. Variability",
+                        "## 3. Leakage countermeasures",
+                        "## 4. Interconnect", "## 5. Analog scaling",
+                        "## 6. Embedded memory",
+                        "## 7. The composite question"):
+            assert heading in report
+
+    def test_mentions_every_node(self, report):
+        for name in ("180nm", "90nm", "45nm"):
+            assert name in report
+
+    def test_is_markdown_tables(self, report):
+        assert report.count("|---|") > 5
+
+    def test_stream_receives_same_text(self):
+        stream = io.StringIO()
+        nodes = [get_node("130nm"), get_node("65nm")]
+        text = generate_report(nodes, stream=stream)
+        assert stream.getvalue() == text
+
+    def test_write_report_roundtrip(self, tmp_path):
+        path = tmp_path / "report.md"
+        nodes = [get_node("130nm"), get_node("65nm")]
+        text = write_report(str(path), nodes)
+        assert path.read_text() == text
+        assert "Reproduction report" in text
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+        path = tmp_path / "cli_report.md"
+        assert main(["report", "--output", str(path)]) == 0
+        assert path.exists()
+        assert "end of the road" in path.read_text()

@@ -1,0 +1,128 @@
+"""Tests for the classical scaling scenarios (paper section 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scaling import (ScalingScenario, effective_scenario,
+                                node_scale_factor, noise_margin_trend,
+                                scale, scaling_table,
+                                voltage_scale_factor)
+from repro.technology import all_nodes, get_node
+
+
+class TestFullScaling:
+    """The paper's headline numbers: density S^2, delay 1/S, power 1/S^2."""
+
+    def test_density_is_s_squared(self):
+        assert scale(2.0).density == pytest.approx(4.0)
+
+    def test_delay_is_inverse_s(self):
+        assert scale(2.0).gate_delay == pytest.approx(0.5)
+
+    def test_power_is_inverse_s_squared(self):
+        assert scale(2.0).power_per_gate == pytest.approx(0.25)
+
+    def test_power_density_constant(self):
+        assert scale(2.0).power_density == pytest.approx(1.0)
+        assert scale(5.0).power_density == pytest.approx(1.0)
+
+    def test_energy_per_switch_falls_cubically(self):
+        assert scale(2.0).energy_per_switch == pytest.approx(1.0 / 8.0)
+
+    def test_electric_field_constant(self):
+        assert scale(3.0).electric_field == pytest.approx(1.0)
+
+    def test_identity_at_s_of_one(self):
+        consequences = scale(1.0)
+        for value in consequences.as_dict().values():
+            assert value == pytest.approx(1.0)
+
+    @given(st.floats(min_value=1.01, max_value=10.0))
+    def test_full_scaling_invariants(self, s):
+        consequences = scale(s)
+        assert consequences.density == pytest.approx(s ** 2)
+        assert consequences.gate_delay == pytest.approx(1.0 / s)
+        assert consequences.power_density == pytest.approx(1.0)
+
+
+class TestConstantVoltageScaling:
+    def test_field_rises(self):
+        consequences = scale(2.0, ScalingScenario.CONSTANT_VOLTAGE)
+        assert consequences.electric_field == pytest.approx(2.0)
+
+    def test_power_density_explodes(self):
+        consequences = scale(2.0, ScalingScenario.CONSTANT_VOLTAGE)
+        assert consequences.power_density > 1.0
+
+    def test_delay_falls_faster_than_full(self):
+        cv = scale(2.0, ScalingScenario.CONSTANT_VOLTAGE)
+        full = scale(2.0, ScalingScenario.FULL)
+        assert cv.gate_delay < full.gate_delay
+
+
+class TestGeneralScaling:
+    def test_requires_voltage_factor(self):
+        with pytest.raises(ValueError):
+            scale(2.0, ScalingScenario.GENERAL)
+
+    def test_interpolates_between_scenarios(self):
+        general = scale(2.0, ScalingScenario.GENERAL, u=1.5)
+        full = scale(2.0, ScalingScenario.FULL)
+        cv = scale(2.0, ScalingScenario.CONSTANT_VOLTAGE)
+        assert cv.power_per_gate > general.power_per_gate \
+            > full.power_per_gate
+
+    def test_matches_full_when_u_equals_s(self):
+        general = scale(2.0, ScalingScenario.GENERAL, u=2.0)
+        full = scale(2.0, ScalingScenario.FULL)
+        assert general.as_dict() == pytest.approx(full.as_dict())
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_bad_scale_factor(self, bad):
+        with pytest.raises(ValueError):
+            scale(bad)
+
+
+class TestScalingTable:
+    def test_one_row_per_factor(self):
+        table = scaling_table([1.0, 2.0, 4.0])
+        assert len(table) == 3
+        assert [row["s"] for row in table] == [1.0, 2.0, 4.0]
+
+    def test_rows_contain_all_factors(self):
+        row = scaling_table([2.0])[0]
+        for key in ("density", "gate_delay", "power_per_gate",
+                    "power_density", "energy_per_switch"):
+            assert key in row
+
+
+class TestNodeScaleFactors:
+    def test_350_to_65_geometry(self):
+        s = node_scale_factor(get_node("350nm"), get_node("65nm"))
+        assert s == pytest.approx(350.0 / 65.0)
+
+    def test_voltage_scales_slower_than_geometry(self):
+        """The roadmap deviation the paper's argument rests on."""
+        frm, to = get_node("350nm"), get_node("65nm")
+        assert voltage_scale_factor(frm, to) < node_scale_factor(frm, to)
+
+    def test_real_transitions_are_general_scaling(self):
+        scenario = effective_scenario(get_node("350nm"), get_node("65nm"))
+        assert scenario is ScalingScenario.GENERAL
+
+
+class TestNoiseMarginTrend:
+    def test_margin_decreases_absolutely(self):
+        rows = noise_margin_trend(all_nodes())
+        margins = [row["noise_margin_V"] for row in rows]
+        assert margins == sorted(margins, reverse=True)
+
+    def test_margin_stays_positive(self):
+        """'decreasing but remains acceptable' (section 1)."""
+        for row in noise_margin_trend(all_nodes()):
+            assert row["noise_margin_V"] > 0.1
+            assert row["noise_margin_rel"] > 0.2

@@ -1,0 +1,110 @@
+"""Integration: the full mixed-signal SoC chain, end to end.
+
+Exercises the longest dependency chains in the library in one pass:
+
+digital netlist -> event simulation -> SWAN injection -> substrate
+mesh -> noise waveform -> VCO modulation -> spectrum -> emission mask,
+and digital netlist -> power -> thermal -> hot leakage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.digital import (EventDrivenSimulator, clocked_datapath,
+                           power_report, random_stimulus)
+from repro.signal_integrity import (WLAN_MASK, VcoModel, check_spurs,
+                                    rms_jitter, LeesonParameters,
+                                    substrate_noise_psd_from_waveform,
+                                    vco_spur_experiment)
+from repro.substrate import NoiseWaveform, SwanSimulator
+from repro.technology import get_node
+from repro.thermal import ThermalStack, solve_operating_point
+
+CLOCK = 13e6
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_node("350nm")
+
+
+@pytest.fixture(scope="module")
+def netlist(node):
+    return clocked_datapath(node, adder_width=8, n_slices=4, seed=5)
+
+
+@pytest.fixture(scope="module")
+def substrate_noise(netlist):
+    swan = SwanSimulator(netlist, clock_frequency=CLOCK,
+                         mesh_resolution=16, seed=0)
+    one_period = swan.run(n_cycles=1, dt=2e-10,
+                          duration=1.0 / CLOCK)
+    n_periods = 13
+    time = np.arange(one_period.time.size * n_periods) * 2e-10
+    return NoiseWaveform(
+        time=time, voltage=np.tile(one_period.voltage, n_periods))
+
+
+class TestDigitalToSubstrateToVco:
+    def test_noise_is_periodic_at_clock(self, substrate_noise):
+        """The tiled SWAN waveform carries the clock fundamental."""
+        psd_at_clock = substrate_noise_psd_from_waveform(
+            substrate_noise.voltage, 2e-10, CLOCK)
+        psd_off = substrate_noise_psd_from_waveform(
+            substrate_noise.voltage, 2e-10, 3.7 * CLOCK)
+        assert psd_at_clock > psd_off
+
+    def test_spurs_land_at_clock_offset(self, substrate_noise):
+        vco = VcoModel(center_frequency=2.3e9,
+                       substrate_sensitivity=20e6)
+        report = vco_spur_experiment(vco, substrate_noise, CLOCK)
+        assert report.carrier_frequency == pytest.approx(2.3e9,
+                                                         rel=0.01)
+        assert report.upper_spur_dbc > -120.0
+
+    def test_mask_check_runs_on_real_chain(self, substrate_noise):
+        vco = VcoModel(center_frequency=2.3e9,
+                       substrate_sensitivity=20e6)
+        report = check_spurs(
+            vco_spur_experiment(vco, substrate_noise, CLOCK),
+            WLAN_MASK)
+        # The small test block is quiet enough for the WLAN mask.
+        assert report.compliant
+
+    def test_jitter_from_swan_psd(self, substrate_noise):
+        vco = VcoModel(center_frequency=2.3e9,
+                       substrate_sensitivity=20e6)
+        psd = substrate_noise_psd_from_waveform(
+            substrate_noise.voltage, 2e-10, 1e6)
+        jitter = rms_jitter(LeesonParameters(), vco, psd)
+        assert 0 < jitter < 1e-9
+
+
+class TestDigitalToThermal:
+    def test_power_report_feeds_thermal(self, node, netlist):
+        sim = EventDrivenSimulator(netlist,
+                                   clock_period=1.0 / CLOCK)
+        result = sim.run(random_stimulus(netlist, 3, seed=0,
+                                         held_high=("en",)), 3)
+        power = power_report(netlist, result)
+        assert power.total > 0
+        # Scale the block power to a 1 Mgate design and solve the
+        # electrothermal point.
+        scale_factor = 1_000_000 / netlist.gate_count()
+        operating = solve_operating_point(
+            node, n_gates=1_000_000, frequency=CLOCK,
+            stack=ThermalStack(rth_junction_to_ambient=5.0))
+        assert operating.converged
+        assert operating.junction_temperature > 318.0
+
+
+class TestCrossNodeConsistency:
+    def test_same_flow_at_65nm(self):
+        """The whole chain retargets to another node unchanged."""
+        node = get_node("65nm")
+        netlist = clocked_datapath(node, adder_width=4, n_slices=2,
+                                   seed=1)
+        swan = SwanSimulator(netlist, clock_frequency=50e6,
+                             mesh_resolution=12, seed=1)
+        waveform = swan.run(n_cycles=2)
+        assert waveform.rms > 0

@@ -1,0 +1,89 @@
+"""Tests for data-dependent bus timing (crosstalk as delay)."""
+
+import pytest
+
+from repro.interconnect import (WireGeometry, bus_timing,
+                                coupling_ratio, crosstalk_delay_trend,
+                                miller_factor, pattern_delay,
+                                shielding_cost)
+from repro.technology import all_nodes, get_node
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_node("65nm")
+
+
+@pytest.fixture(scope="module")
+def geom(node):
+    return WireGeometry.for_node(node, 1)
+
+
+class TestMillerFactors:
+    def test_quiet_neighbours_unity_each(self):
+        assert miller_factor(0, 0) == pytest.approx(2.0)
+
+    def test_in_phase_vanishes(self):
+        assert miller_factor(1, 1) == pytest.approx(0.0)
+
+    def test_opposite_doubles(self):
+        assert miller_factor(-1, -1) == pytest.approx(4.0)
+
+    def test_rejects_bad_pattern(self):
+        with pytest.raises(ValueError):
+            miller_factor(2, 0)
+
+
+class TestPatternDelay:
+    def test_ordering(self, geom):
+        best = pattern_delay(geom, 1e-3, 1, 1)
+        nominal = pattern_delay(geom, 1e-3, 0, 0)
+        worst = pattern_delay(geom, 1e-3, -1, -1)
+        assert best < nominal < worst
+
+    def test_asymmetric_pattern_in_between(self, geom):
+        mixed = pattern_delay(geom, 1e-3, 0, -1)
+        assert pattern_delay(geom, 1e-3, 0, 0) < mixed \
+            < pattern_delay(geom, 1e-3, -1, -1)
+
+
+class TestBusTiming:
+    def test_spread_above_unity(self, node):
+        timing = bus_timing(node, 1e-3)
+        assert timing.spread > 2.0
+        assert timing.worst_over_nominal > 1.3
+
+    def test_lambda_positive(self, node):
+        timing = bus_timing(node, 1e-3)
+        assert timing.coupling_lambda > 0.5
+
+
+class TestTrend:
+    def test_lambda_grows_with_scaling(self):
+        """Taller, closer wires: the coupling share rises."""
+        rows = crosstalk_delay_trend(all_nodes())
+        lambdas = [row["lambda"] for row in rows]
+        assert lambdas == sorted(lambdas)
+        assert lambdas[-1] > 1.5 * lambdas[0]
+
+    def test_spread_grows_with_scaling(self):
+        rows = crosstalk_delay_trend(all_nodes())
+        spreads = [row["worst_over_best"] for row in rows]
+        assert spreads[-1] > spreads[0]
+
+
+class TestShielding:
+    def test_shielding_fastest_but_doubles_tracks(self, node):
+        cost = shielding_cost(node)
+        assert cost["shielded_worst_ps"] < cost["coded_worst_ps"] \
+            < cost["plain_worst_ps"]
+        assert cost["shielded_tracks"] > cost["coded_tracks"] \
+            > cost["plain_tracks"]
+
+    def test_speedups_consistent(self, node):
+        cost = shielding_cost(node)
+        assert cost["shielding_speedup"] > cost["coding_speedup"] > 1.0
+
+    def test_rejects_tiny_bus(self, node):
+        with pytest.raises(ValueError):
+            shielding_cost(node, n_bits=1)

@@ -1,0 +1,132 @@
+"""Tests for clock-skew analysis (Fig. 5) and interconnect trends."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.interconnect import (build_h_tree, delay_trend,
+                                global_wire_delay, h_tree_report,
+                                intrinsic_gate_delay, local_wire_delay,
+                                max_wire_length_for_skew,
+                                power_fraction_trend, skew_budget,
+                                skew_length_sweep,
+                                synchronous_region_trend)
+from repro.technology import all_nodes, get_node
+
+
+@pytest.fixture(scope="module")
+def node100():
+    return get_node("100nm")
+
+
+class TestSkewBudget:
+    def test_value(self):
+        assert skew_budget(1e9, 0.2) == pytest.approx(0.2e-9)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            skew_budget(0.0)
+        with pytest.raises(ValueError):
+            skew_budget(1e9, 0.0)
+        with pytest.raises(ValueError):
+            skew_budget(1e9, 1.5)
+
+
+class TestFig5:
+    def test_paper_anchor_2mm_at_1ghz(self, node100):
+        """'In a typical 100 nm technology the max length of a wire is
+        around 2 mm to keep the skew below 20% of a 1 GHz clock.'"""
+        length = max_wire_length_for_skew(node100, 1e9, 0.2)
+        assert length == pytest.approx(2e-3, rel=0.35)
+
+    def test_inverse_sqrt_frequency(self, node100):
+        """Unrepeated RC wire: L_max ~ 1/sqrt(f)."""
+        l1 = max_wire_length_for_skew(node100, 1e9)
+        l4 = max_wire_length_for_skew(node100, 4e9)
+        assert l4 == pytest.approx(l1 / 2.0, rel=1e-6)
+
+    def test_repeated_scales_inverse_frequency(self, node100):
+        l1 = max_wire_length_for_skew(node100, 1e9, repeated=True)
+        l2 = max_wire_length_for_skew(node100, 2e9, repeated=True)
+        assert l2 == pytest.approx(l1 / 2.0, rel=1e-6)
+
+    def test_sweep_monotone_decreasing(self, node100):
+        rows = skew_length_sweep(node100,
+                                 np.logspace(8, 10, 10).tolist())
+        lengths = [row["max_length_mm"] for row in rows]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_tighter_skew_budget_shorter_wire(self, node100):
+        loose = max_wire_length_for_skew(node100, 1e9, 0.2)
+        tight = max_wire_length_for_skew(node100, 1e9, 0.05)
+        assert tight < loose
+
+    def test_upper_layer_allows_longer_wire(self, node100):
+        m1 = max_wire_length_for_skew(node100, 1e9, layer=1)
+        m4 = max_wire_length_for_skew(node100, 1e9, layer=4)
+        assert m4 > m1
+
+
+class TestSynchronousRegion:
+    def test_shrinks_with_scaling(self):
+        """Section 3.3: 'with decreasing interconnect pitches and line
+        widths, this distance will also decrease' -> GALS."""
+        rows = synchronous_region_trend(all_nodes(), frequency=1e9)
+        lengths = [row["max_length_mm"] for row in rows]
+        assert lengths == sorted(lengths, reverse=True)
+
+
+class TestHTree:
+    def test_balanced_tree_zero_skew(self, node100):
+        report = h_tree_report(node100, span=2e-3, levels=3,
+                               load_imbalance=0.0)
+        assert report.skew == pytest.approx(0.0, abs=1e-15)
+        assert report.n_leaves == 8
+
+    def test_imbalance_creates_skew(self, node100):
+        report = h_tree_report(node100, span=2e-3, levels=3,
+                               load_imbalance=0.2)
+        assert report.skew > 0
+
+    def test_skew_fraction_helper(self, node100):
+        report = h_tree_report(node100, span=2e-3, levels=3,
+                               load_imbalance=0.2)
+        assert report.skew_fraction_of(1e9) == pytest.approx(
+            report.skew * 1e9)
+
+    def test_rejects_bad_parameters(self, node100):
+        with pytest.raises(ValueError):
+            build_h_tree(node100, span=-1.0, levels=3)
+        with pytest.raises(ValueError):
+            build_h_tree(node100, span=1e-3, levels=0)
+
+
+class TestTrends:
+    def test_gate_delay_falls(self):
+        delays = [intrinsic_gate_delay(n) for n in all_nodes()]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_local_wire_over_gate_grows(self):
+        """Section 2.3: interconnect gains in relative importance."""
+        rows = delay_trend(all_nodes())
+        ratios = [row["local_over_gate"] for row in rows]
+        assert ratios[-1] > ratios[0]
+
+    def test_global_wire_over_gate_grows_faster(self):
+        rows = delay_trend(all_nodes())
+        first, last = rows[0], rows[-1]
+        global_growth = last["global_over_gate"] / first["global_over_gate"]
+        local_growth = last["local_over_gate"] / first["local_over_gate"]
+        assert global_growth > local_growth
+
+    def test_global_wire_delay_grows_absolutely(self):
+        old = global_wire_delay(get_node("180nm"), 10e-3)
+        new = global_wire_delay(get_node("45nm"), 10e-3)
+        assert new > old
+
+    def test_wire_power_fraction_grows(self):
+        """Section 2.3's power claim."""
+        rows = power_fraction_trend(all_nodes())
+        assert rows[-1]["wire_fraction"] > rows[0]["wire_fraction"]
+        assert all(0 < row["wire_fraction"] < 1 for row in rows)

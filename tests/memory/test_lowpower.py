@@ -1,0 +1,88 @@
+"""Tests for SRAM retention (drowsy / body-bias / power-gate)."""
+
+import math
+
+import pytest
+
+from repro.memory import (body_bias_retention, drowsy_mode,
+                          minimum_retention_voltage, power_gate_array,
+                          retention_techniques_trend)
+from repro.technology import all_nodes, get_node
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_node("65nm")
+
+
+class TestRetentionVoltage:
+    def test_below_nominal(self, node):
+        drv = minimum_retention_voltage(node)
+        assert 0.0 < drv < node.vdd
+
+    def test_above_threshold_region(self, node):
+        """Retention needs at least a V_T-ish supply."""
+        assert minimum_retention_voltage(node) > 0.5 * node.vth
+
+
+class TestDrowsy:
+    def test_reduces_leakage_and_retains(self, node):
+        result = drowsy_mode(node)
+        assert result.reduction > 3.0
+        assert result.data_retained
+        assert result.hold_snm_retention > 0
+
+    def test_explicit_retention_vdd(self, node):
+        mild = drowsy_mode(node, retention_vdd=0.9 * node.vdd)
+        deep = drowsy_mode(node, retention_vdd=0.6 * node.vdd)
+        assert deep.reduction > mild.reduction
+        assert deep.hold_snm_retention < mild.hold_snm_retention
+
+    def test_retention_vdd_clamped_to_nominal(self, node):
+        result = drowsy_mode(node, retention_vdd=2.0 * node.vdd)
+        assert result.reduction >= 1.0
+
+
+class TestBodyBiasRetention:
+    def test_data_always_retained(self, node):
+        result = body_bias_retention(node)
+        assert result.data_retained
+        assert result.reduction > 1.0
+
+    def test_fades_with_scaling(self):
+        old = body_bias_retention(get_node("350nm"))
+        new = body_bias_retention(get_node("65nm"))
+        # Two compounding effects: the smaller body factor, and the
+        # gate-tunnelling floor body bias cannot touch at 65 nm.
+        assert old.reduction > 10.0 * new.reduction
+
+
+class TestPowerGate:
+    def test_maximum_savings_no_data(self, node):
+        result = power_gate_array(node)
+        assert result.reduction > 100.0
+        assert not result.data_retained
+
+    def test_rejects_bad_fraction(self, node):
+        with pytest.raises(ValueError):
+            power_gate_array(node, switch_leakage_fraction=1.5)
+
+
+class TestTrend:
+    def test_full_table(self):
+        nodes = [get_node(n) for n in ("130nm", "65nm", "32nm")]
+        rows = retention_techniques_trend(nodes)
+        assert len(rows) == 3
+        for row in rows:
+            # Gating always saves the most; drowsy is in between or
+            # better than body bias at small nodes.
+            assert row["power_gate_reduction"] \
+                >= row["drowsy_reduction"]
+            assert row["drowsy_reduction"] > 1.0
+
+    def test_body_bias_column_fades(self):
+        nodes = [get_node(n) for n in ("130nm", "65nm")]
+        rows = retention_techniques_trend(nodes)
+        series = [row["body_bias_reduction"] for row in rows]
+        # 130 nm: body bias still bites; 65 nm: gate leakage caps it.
+        assert series[0] > 5.0 * series[1]

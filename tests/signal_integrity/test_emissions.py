@@ -1,0 +1,88 @@
+"""Tests for emission-mask compliance analysis."""
+
+import math
+
+import pytest
+
+from repro.signal_integrity import (CELLULAR_MASK, WLAN_MASK,
+                                    EmissionMask, VcoModel, check_spurs,
+                                    compliance_sweep,
+                                    max_tolerable_noise,
+                                    required_isolation_db,
+                                    synthetic_clock_noise,
+                                    vco_spur_experiment)
+
+
+@pytest.fixture(scope="module")
+def vco():
+    return VcoModel(center_frequency=2.3e9, substrate_sensitivity=20e6)
+
+
+class TestMask:
+    def test_limit_lookup(self):
+        assert WLAN_MASK.limit_at(15e6) == -30.0
+        assert WLAN_MASK.limit_at(25e6) == -40.0
+        assert WLAN_MASK.limit_at(100e6) == -50.0
+
+    def test_limit_symmetric_in_offset(self):
+        assert WLAN_MASK.limit_at(-15e6) == WLAN_MASK.limit_at(15e6)
+
+    def test_margin_sign(self):
+        assert WLAN_MASK.margin(15e6, -40.0) == pytest.approx(10.0)
+        assert WLAN_MASK.margin(15e6, -20.0) == pytest.approx(-10.0)
+
+    def test_cellular_stricter_than_wlan(self):
+        assert CELLULAR_MASK.limit_at(15e6) < WLAN_MASK.limit_at(15e6)
+
+
+class TestCompliance:
+    def test_quiet_vco_compliant(self, vco):
+        noise = synthetic_clock_noise(13e6, duration=2e-6,
+                                      amplitude=0.1e-3)
+        report = check_spurs(
+            vco_spur_experiment(vco, noise, 13e6), WLAN_MASK)
+        assert report.compliant
+        assert report.margin_db > 0
+
+    def test_loud_vco_fails_cellular(self, vco):
+        noise = synthetic_clock_noise(13e6, duration=2e-6,
+                                      amplitude=50e-3)
+        report = check_spurs(
+            vco_spur_experiment(vco, noise, 13e6), CELLULAR_MASK)
+        assert not report.compliant
+
+    def test_tolerable_noise_roundtrip(self, vco):
+        """A spur at exactly the tolerable amplitude sits margin_db
+        below the mask."""
+        margin = 6.0
+        amplitude = max_tolerable_noise(vco, 13e6, WLAN_MASK, margin)
+        spur = vco.analytic_spur_level(amplitude, 13e6)
+        assert WLAN_MASK.limit_at(13e6) - spur == pytest.approx(margin)
+
+    def test_tolerable_noise_validation(self, vco):
+        with pytest.raises(ValueError):
+            max_tolerable_noise(vco, 0.0)
+
+    def test_isolation_zero_when_compliant(self, vco):
+        tolerable = max_tolerable_noise(vco, 13e6)
+        assert required_isolation_db(0.5 * tolerable, vco, 13e6) == 0.0
+
+    def test_isolation_20db_per_10x(self, vco):
+        tolerable = max_tolerable_noise(vco, 13e6)
+        iso = required_isolation_db(10.0 * tolerable, vco, 13e6)
+        assert iso == pytest.approx(20.0)
+
+    def test_isolation_rejects_negative_noise(self, vco):
+        with pytest.raises(ValueError):
+            required_isolation_db(-1.0, vco, 13e6)
+
+    def test_compliance_sweep_monotone(self, vco):
+        rows = compliance_sweep(vco, [1e-3, 3e-3, 10e-3, 30e-3], 13e6)
+        margins = [row["margin_db"] for row in rows]
+        assert margins == sorted(margins, reverse=True)
+
+    def test_sensitive_vco_tolerates_less(self):
+        quiet = VcoModel(2.3e9, substrate_sensitivity=5e6)
+        loud = VcoModel(2.3e9, substrate_sensitivity=50e6)
+        assert max_tolerable_noise(quiet, 13e6) \
+            > max_tolerable_noise(loud, 13e6)

@@ -1,0 +1,122 @@
+"""Tests for Leeson phase noise and substrate-induced jitter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.signal_integrity import (LeesonParameters, VcoModel,
+                                    leeson_phase_noise,
+                                    phase_noise_profile, rms_jitter,
+                                    substrate_noise_psd_from_waveform,
+                                    substrate_phase_noise,
+                                    total_phase_noise)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return LeesonParameters()
+
+
+@pytest.fixture(scope="module")
+def vco():
+    return VcoModel(center_frequency=2.3e9, substrate_sensitivity=20e6)
+
+
+class TestLeeson:
+    def test_falls_with_offset(self, params):
+        near = leeson_phase_noise(params, 2.3e9, 10e3)
+        far = leeson_phase_noise(params, 2.3e9, 10e6)
+        assert far < near
+
+    def test_20db_per_decade_in_resonator_region(self, params):
+        """Between the 1/f^3 corner and the floor: -20 dB/decade."""
+        l1 = leeson_phase_noise(params, 2.3e9, 1e6)
+        l2 = leeson_phase_noise(params, 2.3e9, 10e6)
+        assert l1 - l2 == pytest.approx(20.0, abs=3.0)
+
+    def test_higher_q_quieter(self):
+        low_q = LeesonParameters(loaded_q=5.0)
+        high_q = LeesonParameters(loaded_q=20.0)
+        assert leeson_phase_noise(high_q, 2.3e9, 1e6) \
+            < leeson_phase_noise(low_q, 2.3e9, 1e6)
+
+    def test_realistic_value(self, params):
+        """LC VCO at 1 MHz offset: roughly -110 to -135 dBc/Hz."""
+        value = leeson_phase_noise(params, 2.3e9, 1e6)
+        assert -140.0 < value < -100.0
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError):
+            leeson_phase_noise(params, 0.0, 1e6)
+        with pytest.raises(ValueError):
+            LeesonParameters(loaded_q=-1.0)
+
+
+class TestSubstrateContribution:
+    def test_falls_20db_per_decade(self, vco):
+        l1 = substrate_phase_noise(vco, 1e-16, 1e6)
+        l2 = substrate_phase_noise(vco, 1e-16, 10e6)
+        assert l1 - l2 == pytest.approx(20.0, abs=1e-6)
+
+    def test_more_noise_psd_more_phase_noise(self, vco):
+        assert substrate_phase_noise(vco, 1e-14, 1e6) \
+            > substrate_phase_noise(vco, 1e-16, 1e6)
+
+    def test_zero_noise_is_minus_infinity(self, vco):
+        assert math.isinf(substrate_phase_noise(vco, 0.0, 1e6))
+
+    def test_total_dominated_by_larger_term(self, params, vco):
+        total = total_phase_noise(params, vco, 1e-10, 1e6)
+        substrate = substrate_phase_noise(vco, 1e-10, 1e6)
+        assert total == pytest.approx(substrate, abs=0.5)
+
+    def test_total_above_both_components(self, params, vco):
+        intrinsic = leeson_phase_noise(params, vco.center_frequency,
+                                       1e6)
+        substrate = substrate_phase_noise(vco, 1e-16, 1e6)
+        total = total_phase_noise(params, vco, 1e-16, 1e6)
+        assert total >= intrinsic - 1e-9
+        assert total >= substrate - 1e-9
+
+    def test_profile_covers_offsets(self, params, vco):
+        rows = phase_noise_profile(params, vco, 1e-16,
+                                   [1e4, 1e5, 1e6])
+        assert len(rows) == 3
+        totals = [row["total_dbc_hz"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestJitter:
+    def test_jitter_positive_and_plausible(self, params, vco):
+        """Integrated jitter of an LC VCO: ~0.1-10 ps."""
+        jitter = rms_jitter(params, vco, 1e-16)
+        assert 1e-14 < jitter < 1e-10
+
+    def test_substrate_noise_adds_jitter(self, params, vco):
+        clean = rms_jitter(params, vco, 0.0)
+        noisy = rms_jitter(params, vco, 1e-12)
+        assert noisy > clean
+
+    def test_band_validation(self, params, vco):
+        with pytest.raises(ValueError):
+            rms_jitter(params, vco, 1e-16, band=(1e6, 1e4))
+
+
+class TestPsdEstimate:
+    def test_sine_psd_peaks_at_tone(self):
+        dt = 1e-9
+        t = np.arange(8192) * dt
+        tone = 5e-3 * np.sin(2 * math.pi * 5e6 * t)
+        at_tone = substrate_noise_psd_from_waveform(tone, dt, 5e6)
+        off_tone = substrate_noise_psd_from_waveform(tone, dt, 100e6)
+        assert at_tone > 100.0 * off_tone
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            substrate_noise_psd_from_waveform(np.zeros(4), 1e-9, 1e6)
+        with pytest.raises(ValueError):
+            substrate_noise_psd_from_waveform(np.zeros(100), 0.0, 1e6)
+        with pytest.raises(ValueError):
+            substrate_noise_psd_from_waveform(np.zeros(100), 1e-9,
+                                              1e12)

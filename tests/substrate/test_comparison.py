@@ -1,0 +1,54 @@
+"""Tests for the EPI vs high-ohmic substrate trade study."""
+
+import pytest
+
+from repro.substrate import (EPI_PROCESS, HIGH_OHMIC_PROCESS,
+                             compare_substrates,
+                             isolation_knob_ranking)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return {row["substrate"]: row for row in compare_substrates(nx=20)}
+
+
+class TestSubstrateFamilies:
+    def test_both_substrates_present(self, table):
+        assert set(table) == {"epi", "high-ohmic"}
+
+    def test_epi_distance_useless(self, table):
+        """The defining EPI property: the bulk shorts past distance."""
+        assert table["epi"]["distance_gain_db"] < 1.0
+
+    def test_high_ohmic_distance_works(self, table):
+        """On a uniform substrate, distance is the strongest knob."""
+        assert table["high-ohmic"]["distance_gain_db"] > 10.0
+
+    def test_guard_ring_stronger_on_high_ohmic(self, table):
+        """Rings intercept lateral currents: far more effective when
+        the current actually flows laterally."""
+        assert table["high-ohmic"]["guard_ring_gain_db"] \
+            > 2.0 * table["epi"]["guard_ring_gain_db"]
+
+    def test_epi_surface_knobs_weak(self, table):
+        """On EPI neither surface knob clears 6 dB."""
+        assert table["epi"]["distance_gain_db"] < 6.0
+        assert table["epi"]["guard_ring_gain_db"] < 6.0
+
+    def test_guard_ring_helps_everywhere(self, table):
+        for row in table.values():
+            assert row["guard_ring_gain_db"] > 0.0
+
+    @pytest.mark.parametrize("nx", [20, 24, 32])
+    def test_knob_ranking_matches_the_book(self, nx):
+        """Stable across mesh resolutions: surface knobs work on
+        high-ohmic, only bulk grounding works on EPI."""
+        ranking = isolation_knob_ranking(nx=nx)
+        assert ranking["high-ohmic"] == "distance"
+        assert ranking["epi"] == "backside-grounding"
+
+    def test_process_constants_differ_structurally(self):
+        assert EPI_PROCESS.backplane_grounded
+        assert not HIGH_OHMIC_PROCESS.backplane_grounded
+        assert EPI_PROCESS.bulk_resistivity \
+            < HIGH_OHMIC_PROCESS.bulk_resistivity

@@ -1,0 +1,70 @@
+"""Tests for yield-aware sizing (design centering)."""
+
+import pytest
+
+from repro.analog import OtaDesign, SingleStageOta
+from repro.synthesis import (GuardBandedOta, Specification,
+                             centered_ota_synthesizer,
+                             compare_centering, default_ota_spec)
+from repro.variability import VariationSpec
+from repro.technology import get_node
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_node("180nm")
+
+
+@pytest.fixture(scope="module")
+def design():
+    return OtaDesign(input_width=20e-6, input_length=0.5e-6,
+                     load_width=10e-6, load_length=1e-6,
+                     tail_current=100e-6)
+
+
+class TestGuardBandedEngine:
+    def test_worst_case_never_better_than_nominal(self, node, design):
+        nominal = SingleStageOta(node, 2e-12).evaluate(design)
+        guarded = GuardBandedOta(node, 2e-12, n_sigma=3.0).evaluate(
+            design)
+        assert guarded.gain_db <= nominal.gain_db + 1e-9
+        assert guarded.gbw_hz <= nominal.gbw_hz + 1e-9
+        assert guarded.power >= nominal.power - 1e-15
+        assert guarded.offset_sigma \
+            == pytest.approx(3.0 * nominal.offset_sigma)
+
+    def test_more_sigma_more_pessimism(self, node, design):
+        mild = GuardBandedOta(node, 2e-12, n_sigma=1.0).evaluate(design)
+        harsh = GuardBandedOta(node, 2e-12, n_sigma=4.0).evaluate(
+            design)
+        assert harsh.offset_sigma > mild.offset_sigma
+        assert harsh.gbw_hz <= mild.gbw_hz + 1e-9
+
+    def test_rejects_bad_sigma(self, node):
+        with pytest.raises(ValueError):
+            GuardBandedOta(node, 2e-12, n_sigma=0.0)
+
+
+class TestCenteredSynthesis:
+    def test_centered_design_feasible_at_corner(self, node):
+        spec = default_ota_spec()
+        result = centered_ota_synthesizer(
+            node, 2e-12, spec).run(seed=0, maxiter=20)
+        assert result.feasible
+
+    def test_comparison_improves_or_matches_yield(self, node):
+        comparison = compare_centering(
+            node, 2e-12, default_ota_spec(), seed=0, maxiter=15,
+            n_mc=120)
+        assert comparison.centered_yield \
+            >= comparison.nominal_yield - 0.02
+        assert comparison.centered_yield > 0.9
+        # The yield is bought with bounded power.
+        assert comparison.power_cost < 5.0
+
+    def test_comparison_results_feasible(self, node):
+        comparison = compare_centering(
+            node, 2e-12, default_ota_spec(), seed=1, maxiter=10,
+            n_mc=60)
+        assert comparison.nominal.feasible
+        assert comparison.centered.feasible

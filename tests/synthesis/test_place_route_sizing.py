@@ -1,0 +1,192 @@
+"""Tests for placement, routing and the AMGIE sizing loop."""
+
+import pytest
+
+from repro.synthesis import (CircuitSynthesizer, DesignRules,
+                             PlacementProblem,
+                             SimulatedAnnealingPlacer, Specification,
+                             Variable, default_frontend_spec,
+                             default_ota_spec, frontend_synthesizer,
+                             manual_design_baseline, mosfet_cell,
+                             ota_synthesizer, place_cells, route_layout,
+                             synthesize_detector_frontend)
+from repro.technology import get_node
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_node("350nm")
+
+
+@pytest.fixture(scope="module")
+def rules(node):
+    return DesignRules.for_node(node)
+
+
+def small_problem(node):
+    cells = {f"m{i}": mosfet_cell(node, f"m{i}", width=5e-6)
+             for i in range(6)}
+    nets = {
+        "n1": [("m0", "D"), ("m1", "G")],
+        "n2": [("m1", "D"), ("m2", "G")],
+        "n3": [("m2", "D"), ("m3", "G")],
+        "n4": [("m4", "D"), ("m5", "G")],
+    }
+    return PlacementProblem(cells=cells, nets=nets,
+                            symmetry=[("m0", "m1")],
+                            proximity=[["m2", "m3"]])
+
+
+class TestPlacer:
+    def test_annealing_reduces_cost(self, node, rules):
+        placer = SimulatedAnnealingPlacer(small_problem(node), rules,
+                                          seed=0)
+        state, history = placer.place(n_iterations=800)
+        assert history[-1] <= history[0]
+        assert placer.cost(state) <= history[0]
+
+    def test_layout_has_all_instances(self, node, rules):
+        layout = place_cells(small_problem(node), rules,
+                             n_iterations=300, seed=1)
+        assert set(layout.placements) == {f"m{i}" for i in range(6)}
+
+    def test_no_overlaps_by_construction(self, node, rules):
+        layout = place_cells(small_problem(node), rules,
+                             n_iterations=300, seed=2)
+        assert layout.check_overlaps() == []
+
+    def test_deterministic_with_seed(self, node, rules):
+        a = place_cells(small_problem(node), rules, 200, seed=3)
+        b = place_cells(small_problem(node), rules, 200, seed=3)
+        assert {n: (p.x, p.y) for n, p in a.placements.items()} \
+            == {n: (p.x, p.y) for n, p in b.placements.items()}
+
+    def test_symmetry_pair_same_row(self, node, rules):
+        placer = SimulatedAnnealingPlacer(small_problem(node), rules,
+                                          seed=4)
+        state, _ = placer.place(n_iterations=1500)
+        assert state.slots["m0"][1] == state.slots["m1"][1]
+
+    def test_validates_constraints(self, node):
+        problem = small_problem(node)
+        problem.symmetry.append(("m0", "missing"))
+        with pytest.raises(ValueError):
+            problem.validate()
+
+    def test_rejects_zero_iterations(self, node, rules):
+        placer = SimulatedAnnealingPlacer(small_problem(node), rules)
+        with pytest.raises(ValueError):
+            placer.place(n_iterations=0)
+
+
+class TestRouter:
+    def test_routes_most_nets(self, node, rules):
+        layout = place_cells(small_problem(node), rules, 500, seed=5)
+        result = route_layout(layout)
+        assert result.n_nets == 4
+        assert result.completion >= 0.75
+        assert result.total_wirelength > 0
+
+    def test_routing_adds_geometry(self, node, rules):
+        layout = place_cells(small_problem(node), rules, 300, seed=6)
+        before = len(layout.routes)
+        route_layout(layout)
+        assert len(layout.routes) > before
+
+
+class TestVariable:
+    def test_log_decode_endpoints(self):
+        var = Variable("x", 1.0, 100.0)
+        assert var.decode(0.0) == pytest.approx(1.0)
+        assert var.decode(1.0) == pytest.approx(100.0)
+        assert var.decode(0.5) == pytest.approx(10.0)
+
+    def test_linear_decode(self):
+        var = Variable("x", 1.0, 3.0, log_scale=False)
+        assert var.decode(0.5) == pytest.approx(2.0)
+
+    def test_clamps_out_of_range(self):
+        var = Variable("x", 1.0, 100.0)
+        assert var.decode(-0.5) == pytest.approx(1.0)
+        assert var.decode(1.5) == pytest.approx(100.0)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Variable("x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Variable("x", 2.0, 1.0)
+
+
+class TestSpecification:
+    class FakePerf:
+        gain_db = 50.0
+        power = 1e-3
+
+    def test_feasible_when_all_met(self):
+        spec = Specification(constraints={"gain_db": ("min", 40.0),
+                                          "power": ("max", 2e-3)})
+        assert spec.is_feasible(self.FakePerf())
+
+    def test_penalty_positive_when_violated(self):
+        spec = Specification(constraints={"gain_db": ("min", 60.0)})
+        assert spec.penalty(self.FakePerf()) > 0
+
+    def test_bad_direction_raises(self):
+        spec = Specification(constraints={"gain_db": ("between", 1.0)})
+        with pytest.raises(ValueError):
+            spec.penalty(self.FakePerf())
+
+
+class TestOtaSynthesis:
+    def test_finds_feasible_design(self, node):
+        synthesizer = ota_synthesizer(node, 2e-12, default_ota_spec())
+        result = synthesizer.run(seed=0, maxiter=25)
+        assert result.feasible
+        perf = result.performance
+        assert perf.gain_db >= 36.0
+        assert perf.gbw_hz >= 50e6
+
+    def test_counts_evaluations(self, node):
+        synthesizer = ota_synthesizer(node, 2e-12, default_ota_spec())
+        result = synthesizer.run(seed=1, maxiter=5)
+        assert result.n_evaluations > 50
+
+
+class TestFrontendFlow:
+    """The full Fig. 8 pipeline (small budgets for test speed)."""
+
+    @pytest.fixture(scope="class")
+    def report(self, node):
+        return synthesize_detector_frontend(
+            node, seed=1, sizing_maxiter=12,
+            placement_iterations=400)
+
+    def test_sizing_feasible(self, report):
+        assert report.sizing.feasible
+        assert report.performance.enc_electrons <= 1000.0
+
+    def test_layout_complete(self, report):
+        assert len(report.layout.placements) == 7
+        assert report.layout.check_overlaps() == []
+
+    def test_routing_mostly_complete(self, report):
+        assert report.routing.completion >= 0.7
+
+    def test_summary_fields(self, report):
+        summary = report.summary()
+        assert summary["area_mm2"] > 0
+        assert summary["power_mW"] > 0
+
+    def test_beats_or_matches_manual_power(self, node, report):
+        """The paper's productivity claim: synthesis results are
+        'comparable or better than manual designs'."""
+        manual = manual_design_baseline(node)
+        assert report.performance.power * 1e3 \
+            <= manual["power_mW"] * 1.2
+
+    def test_deterministic_sizing(self, node):
+        a = synthesize_detector_frontend(
+            node, seed=7, sizing_maxiter=5, placement_iterations=50)
+        b = synthesize_detector_frontend(
+            node, seed=7, sizing_maxiter=5, placement_iterations=50)
+        assert a.sizing.values == pytest.approx(b.sizing.values)

@@ -1,0 +1,65 @@
+"""Tests for the material models (high-k, metal, low-k)."""
+
+import pytest
+
+from repro.technology import (CONDUCTORS, GATE_DIELECTRICS,
+                              INTER_METAL_DIELECTRICS, rc_improvement)
+
+
+class TestGateDielectrics:
+    def test_hfo2_physically_thicker_at_same_eot(self):
+        """The high-k promise of section 2.2."""
+        hfo2 = GATE_DIELECTRICS["HfO2"]
+        t_phys = hfo2.physical_thickness_for_eot(1.6e-9)
+        assert t_phys > 1.6e-9
+        assert t_phys == pytest.approx(1.6e-9 * 22.0 / 3.9)
+
+    def test_sio2_thickness_is_eot(self):
+        sio2 = GATE_DIELECTRICS["SiO2"]
+        assert sio2.physical_thickness_for_eot(2e-9) \
+            == pytest.approx(2e-9)
+
+    def test_high_k_suppresses_leakage(self):
+        """Thicker film wins despite the lower barrier."""
+        hfo2 = GATE_DIELECTRICS["HfO2"]
+        assert hfo2.leakage_suppression_vs_sio2(1.5e-9) > 10.0
+
+    def test_suppression_grows_with_k(self):
+        al2o3 = GATE_DIELECTRICS["Al2O3"]
+        hfo2 = GATE_DIELECTRICS["HfO2"]
+        assert hfo2.leakage_suppression_vs_sio2(1.5e-9) \
+            > al2o3.leakage_suppression_vs_sio2(1.5e-9)
+
+    def test_rejects_non_positive_eot(self):
+        with pytest.raises(ValueError):
+            GATE_DIELECTRICS["HfO2"].physical_thickness_for_eot(0.0)
+
+
+class TestConductors:
+    def test_copper_beats_aluminium(self):
+        assert CONDUCTORS["Cu"].resistivity < CONDUCTORS["Al"].resistivity
+
+    def test_resistance_per_length(self):
+        r = CONDUCTORS["Cu"].resistance_per_length(100e-9, 200e-9)
+        assert r == pytest.approx(1.68e-8 / 2e-14)
+
+    def test_rejects_bad_cross_section(self):
+        with pytest.raises(ValueError):
+            CONDUCTORS["Cu"].resistance_per_length(0.0, 1e-9)
+
+
+class TestRcImprovement:
+    def test_al_sio2_to_cu_lowk(self):
+        """Section 2.3's 'some relief' quantified: ~2.1x."""
+        factor = rc_improvement("Al", "Cu", "SiO2", "SiOC")
+        assert factor == pytest.approx(
+            (2.65 * 3.9) / (1.68 * 2.9), rel=1e-6)
+        assert 1.5 < factor < 3.0
+
+    def test_no_change_is_unity(self):
+        assert rc_improvement("Cu", "Cu", "SiO2", "SiO2") \
+            == pytest.approx(1.0)
+
+    def test_air_gap_is_best(self):
+        assert INTER_METAL_DIELECTRICS["air-gap"].k \
+            == min(d.k for d in INTER_METAL_DIELECTRICS.values())

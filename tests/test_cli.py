@@ -1,0 +1,48 @@
+"""Tests for the python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_nodes_lists_library(self, capsys):
+        assert main(["nodes"]) == 0
+        out = capsys.readouterr().out
+        assert "65nm" in out
+        assert "350nm" in out
+
+    def test_node_detail(self, capsys):
+        assert main(["node", "65nm"]) == 0
+        out = capsys.readouterr().out
+        assert "feature_size_nm" in out
+        assert "65" in out
+
+    def test_node_accepts_bare_number(self, capsys):
+        assert main(["node", "90"]) == 0
+        assert "90" in capsys.readouterr().out
+
+    def test_unknown_node_fails_cleanly(self, capsys):
+        assert main(["node", "7nm"]) == 1
+        assert "available" in capsys.readouterr().err
+
+    def test_scorecard(self, capsys):
+        assert main(["scorecard"]) == 0
+        out = capsys.readouterr().out
+        assert "benefit_vs_prev" in out
+        assert "sync_region_mm" in out
+
+    def test_leakage_with_options(self, capsys):
+        assert main(["leakage", "--gates", "1000",
+                     "--frequency", "5e8"]) == 0
+        assert "leakage_fraction" in capsys.readouterr().out
+
+    def test_figures_index(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "tab_body_bias" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,194 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that must hold for *any* physically sensible input, not
+just the library nodes: monotonicities, conservation laws, scaling
+identities and bounds that tie the packages together.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.scaling import ScalingScenario, scale
+from repro.devices import Mosfet, subthreshold_current
+from repro.interconnect import WireGeometry, wire_delay
+from repro.analog import accuracy_from_bits, minimum_power
+from repro.technology import TechnologyNode, get_node
+
+
+def node_strategy():
+    """Random but physical technology nodes."""
+    return st.builds(
+        lambda feat, vdd_frac, vth_frac, tox_frac: TechnologyNode(
+            name="hyp",
+            feature_size=feat,
+            vdd=0.5 + 3.0 * vdd_frac,
+            vth=(0.5 + 3.0 * vdd_frac) * (0.1 + 0.4 * vth_frac),
+            tox=feat * (0.015 + 0.02 * tox_frac),
+            wire_pitch=2.8 * feat,
+            channel_doping=5e23 * (350e-9 / feat),
+        ),
+        st.floats(min_value=30e-9, max_value=400e-9),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+
+
+class TestScalingIdentities:
+    @given(st.floats(min_value=1.01, max_value=8.0),
+           st.floats(min_value=1.01, max_value=8.0))
+    def test_composition_of_scalings(self, s1, s2):
+        """Scaling by s1 then s2 equals scaling by s1*s2."""
+        once = scale(s1 * s2)
+        first = scale(s1)
+        second = scale(s2)
+        assert once.density == pytest.approx(
+            first.density * second.density)
+        assert once.gate_delay == pytest.approx(
+            first.gate_delay * second.gate_delay)
+        assert once.power_per_gate == pytest.approx(
+            first.power_per_gate * second.power_per_gate)
+
+    @given(st.floats(min_value=1.01, max_value=8.0),
+           st.floats(min_value=0.1, max_value=0.9))
+    def test_general_scaling_brackets(self, s, u_frac):
+        """General scaling lies between full and constant-voltage."""
+        u = 1.0 + (s - 1.0) * u_frac
+        general = scale(s, ScalingScenario.GENERAL, u=u)
+        full = scale(s, ScalingScenario.FULL)
+        cv = scale(s, ScalingScenario.CONSTANT_VOLTAGE)
+        assert full.power_per_gate <= general.power_per_gate \
+            <= cv.power_per_gate
+
+
+class TestNodeInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(node_strategy())
+    def test_derived_quantities_physical(self, node):
+        assert node.cox > 0
+        assert 0 < node.fermi_potential < 0.7
+        assert node.depletion_depth > 0
+        assert node.overdrive > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(node_strategy(), st.floats(min_value=1.2, max_value=3.0))
+    def test_scaled_preserves_ordering(self, node, s):
+        scaled = node.scaled(s)
+        assert scaled.feature_size < node.feature_size
+        assert scaled.vdd < node.vdd
+        assert scaled.vth < scaled.vdd
+
+    @settings(max_examples=40, deadline=None)
+    @given(node_strategy(),
+           st.floats(min_value=310.0, max_value=420.0))
+    def test_hot_node_leaks_more(self, node, temperature):
+        device = Mosfet(node, width=2 * node.feature_size)
+        hot = Mosfet(node.at_temperature(temperature),
+                     width=2 * node.feature_size)
+        if temperature > node.temperature + 1.0:
+            assert hot.off_current() > device.off_current()
+
+
+class TestDeviceInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(node_strategy(),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_current_nonnegative_any_node(self, node, vgs_frac,
+                                          vds_frac):
+        device = Mosfet(node, width=2 * node.feature_size)
+        current = float(device.ids(vgs_frac * node.vdd,
+                                   vds_frac * node.vdd))
+        assert current >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(node_strategy())
+    def test_on_exceeds_off_any_node(self, node):
+        device = Mosfet(node, width=2 * node.feature_size)
+        assert device.on_current() > device.off_current()
+
+    @given(st.floats(min_value=1e-9, max_value=1e-3),
+           st.floats(min_value=0.05, max_value=1.0),
+           st.floats(min_value=1.0, max_value=2.0))
+    def test_subthreshold_scaling_identity(self, i0, vth, n):
+        """I(V_T + delta) = I(V_T) * exp(-delta/(n*phi_t))."""
+        delta = 0.1
+        base = subthreshold_current(i0, vth, n=n)
+        shifted = subthreshold_current(i0, vth + delta, n=n)
+        phi_t = 0.02585
+        assert shifted / base == pytest.approx(
+            math.exp(-delta / (n * phi_t)), rel=1e-3)
+
+
+class TestWireInvariants:
+    @settings(max_examples=40)
+    @given(st.floats(min_value=50e-9, max_value=2e-6),
+           st.floats(min_value=1e-5, max_value=1e-2),
+           st.floats(min_value=1.0, max_value=4.0))
+    def test_delay_superlinear_in_length(self, pitch, length, k):
+        geom = WireGeometry(pitch=pitch, dielectric_k=k)
+        d1 = wire_delay(geom, length)
+        d2 = wire_delay(geom, 2.0 * length)
+        assert d2 == pytest.approx(4.0 * d1, rel=1e-9)
+
+    @settings(max_examples=40)
+    @given(st.floats(min_value=50e-9, max_value=2e-6),
+           st.floats(min_value=1.2, max_value=4.0))
+    def test_lower_k_always_faster(self, pitch, k):
+        slow = WireGeometry(pitch=pitch, dielectric_k=k)
+        fast = WireGeometry(pitch=pitch, dielectric_k=k / 1.2)
+        assert wire_delay(fast, 1e-3) < wire_delay(slow, 1e-3)
+
+
+class TestAnalogInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(node_strategy(),
+           st.floats(min_value=4.0, max_value=16.0),
+           st.floats(min_value=1e5, max_value=1e9))
+    def test_more_bits_always_more_power(self, node, bits, speed):
+        lo = minimum_power(speed, accuracy_from_bits(bits), node)
+        hi = minimum_power(speed, accuracy_from_bits(bits + 1.0),
+                           node)
+        assert hi["mismatch_W"] > lo["mismatch_W"]
+        assert hi["thermal_W"] > lo["thermal_W"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(node_strategy())
+    def test_mismatch_limit_above_thermal(self, node):
+        """The Fig. 6 ordering holds for any physical node."""
+        limits = minimum_power(1e6, accuracy_from_bits(10.0), node)
+        assert limits["mismatch_W"] > limits["thermal_W"]
+
+    @given(st.floats(min_value=2.0, max_value=20.0))
+    def test_one_bit_is_6db(self, bits):
+        """Accuracy doubles per bit: 4x power per bit at the limit."""
+        a1 = accuracy_from_bits(bits)
+        a2 = accuracy_from_bits(bits + 1.0)
+        assert a2 / a1 == pytest.approx(2.0)
+
+
+class TestAdderEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_kogge_stone_equals_ripple(self, a, b):
+        """Two structurally different adders, one arithmetic truth."""
+        from repro.digital import kogge_stone_adder, ripple_adder
+        node = get_node("65nm")
+        ks = kogge_stone_adder(node, width=8)
+        ripple = ripple_adder(node, width=8)
+        bits = {f"a{i}": bool((a >> i) & 1) for i in range(8)}
+        bits.update({f"b{i}": bool((b >> i) & 1) for i in range(8)})
+        ks_values = ks.evaluate(bits)
+        ks_sum = sum(1 << i for i in range(8)
+                     if ks_values[f"s{i}"]) \
+            + (256 if ks_values["cout"] else 0)
+        ripple_values = ripple.evaluate({**bits, "cin": False})
+        ripple_sum = sum(1 << i for i in range(8)
+                         if ripple_values[f"fa{i}_s"]) \
+            + (256 if ripple_values[
+                ripple.primary_outputs[-1]] else 0)
+        assert ks_sum == ripple_sum == a + b

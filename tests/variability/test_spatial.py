@@ -1,0 +1,95 @@
+"""Tests for spatially correlated intra-die variation."""
+
+import numpy as np
+import pytest
+
+from repro.variability import (SpatialSpec, common_centroid_benefit,
+                               matching_vs_distance, sample_vt_map)
+from repro.technology import get_node
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_node("65nm")
+
+
+class TestSpec:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SpatialSpec(gradient_sigma=-1.0)
+
+    def test_rejects_zero_correlation_length(self):
+        with pytest.raises(ValueError):
+            SpatialSpec(correlation_length=0.0)
+
+
+class TestVtMap:
+    def test_reproducible_smooth_field(self, node):
+        a = sample_vt_map(node, seed=5)
+        b = sample_vt_map(node, seed=5)
+        assert a.at(1e-3, 1e-3, include_white=False) \
+            == pytest.approx(b.at(1e-3, 1e-3, include_white=False))
+
+    def test_out_of_die_rejected(self, node):
+        vt_map = sample_vt_map(node, die=5e-3, seed=0)
+        with pytest.raises(ValueError):
+            vt_map.at(6e-3, 1e-3)
+
+    def test_field_magnitude_sane(self, node):
+        spec = SpatialSpec()
+        vt_map = sample_vt_map(node, die=5e-3, spec=spec, seed=1)
+        samples = [vt_map.at(x, y, include_white=False)
+                   for x in np.linspace(1e-4, 4.9e-3, 12)
+                   for y in np.linspace(1e-4, 4.9e-3, 12)]
+        # Within a few sigma of (gradient span + correlated field).
+        assert max(abs(s) for s in samples) < 0.2
+
+    def test_nearby_points_correlated(self, node):
+        """Smooth field: 10 um apart ~ identical, 4 mm apart not."""
+        vt_map = sample_vt_map(node, die=5e-3, seed=2)
+        near_a = vt_map.at(2e-3, 2e-3, include_white=False)
+        near_b = vt_map.at(2.01e-3, 2e-3, include_white=False)
+        assert abs(near_a - near_b) < 1e-3
+
+    def test_validation(self, node):
+        with pytest.raises(ValueError):
+            sample_vt_map(node, die=-1.0)
+        with pytest.raises(ValueError):
+            sample_vt_map(node, resolution=4)
+
+
+class TestMatchingVsDistance:
+    def test_sigma_grows_with_distance(self, node):
+        rows = matching_vs_distance(
+            node, [0.1e-3, 1e-3, 2e-3], n_dies=60, seed=0)
+        sigmas = [row["sigma_delta_vt_mV"] for row in rows]
+        assert sigmas[-1] > sigmas[0]
+
+    def test_short_range_white_dominated(self, node):
+        """At tiny separation the pair sigma ~ sqrt(2)*white."""
+        spec = SpatialSpec(white_sigma=0.01)
+        rows = matching_vs_distance(node, [0.02e-3], n_dies=80,
+                                    spec=spec, seed=1)
+        expected = np.sqrt(2.0) * 10.0
+        assert rows[0]["sigma_delta_vt_mV"] \
+            == pytest.approx(expected, rel=0.25)
+
+    def test_distance_must_fit(self, node):
+        with pytest.raises(ValueError):
+            matching_vs_distance(node, [4e-3], die=5e-3, n_dies=5)
+
+
+class TestCommonCentroid:
+    def test_centroid_beats_plain_pair(self, node):
+        result = common_centroid_benefit(node, seed=3)
+        assert result["improvement"] > 1.2
+
+    def test_pure_gradient_cancelled_exactly(self, node):
+        """With only a gradient (no field, no white), the centroid
+        difference is ~zero."""
+        spec = SpatialSpec(gradient_sigma=10.0,
+                           correlated_sigma=1e-9,
+                           white_sigma=1e-9)
+        result = common_centroid_benefit(node, spec=spec, n_dies=40,
+                                         seed=4)
+        assert result["improvement"] > 50.0
