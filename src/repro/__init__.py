@@ -29,6 +29,7 @@ from . import (
     digital,
     interconnect,
     memory,
+    perf,
     signal_integrity,
     substrate,
     synthesis,
@@ -41,6 +42,6 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analog", "core", "devices", "digital", "interconnect", "memory",
-    "signal_integrity", "substrate", "synthesis", "technology",
+    "perf", "signal_integrity", "substrate", "synthesis", "technology",
     "thermal", "variability", "__version__",
 ]

@@ -55,19 +55,36 @@ class OtaYieldAnalyzer:
         self.rng = np.random.default_rng(seed)
         self._sampler = MonteCarloSampler(node, variation, seed=seed)
 
-    def sample_performance(self) -> OtaPerformance:
-        """One MC draw of the OTA's performance."""
-        die = self._sampler.sample_die()
-        shifted_node = die.effective_node()
+    def _evaluate_shifted(self, vth_global: float,
+                          length_factor: float,
+                          tox_factor: float) -> OtaPerformance:
+        """Re-evaluate the engine on a globally shifted node."""
+        shifted_node = self.node.with_overrides(
+            name=f"{self.node.name}@die",
+            vth=self.node.vth + vth_global,
+            feature_size=self.node.feature_size * length_factor,
+            tox=self.node.tox * tox_factor,
+        )
         engine = SingleStageOta(shifted_node,
                                 self.engine.load_capacitance)
-        nominal = engine.evaluate(self.design)
-        # Replace the analytic offset sigma by an actual draw.
+        return engine.evaluate(self.design)
+
+    def _offset_sigmas(self) -> tuple:
         sigma_in = sigma_delta_vth(self.node, self.design.input_width,
                                    self.design.input_length)
         sigma_beta = sigma_delta_beta(self.node,
                                       self.design.input_width,
                                       self.design.input_length)
+        return sigma_in, sigma_beta
+
+    def sample_performance(self) -> OtaPerformance:
+        """One MC draw of the OTA's performance."""
+        die = self._sampler.sample_die()
+        nominal = self._evaluate_shifted(die.vth_global,
+                                         die.length_factor_global,
+                                         die.tox_factor_global)
+        # Replace the analytic offset sigma by an actual draw.
+        sigma_in, sigma_beta = self._offset_sigmas()
         offset = (sigma_in * self.rng.standard_normal()
                   + 0.1 * sigma_beta * self.rng.standard_normal())
         return dataclasses.replace(nominal, offset_sigma=abs(offset))
@@ -79,29 +96,45 @@ class OtaYieldAnalyzer:
         ``spec`` keys: ``gain_db``/``gbw_hz``/``phase_margin_deg``/
         ``slew_rate``/``swing`` are minima; ``power``/``offset_sigma``
         maxima (same convention as :meth:`OtaPerformance.meets`).
+
+        The process sampling and pass/fail bookkeeping run on the
+        batched engine (:meth:`MonteCarloSampler.sample_dies_batch`);
+        only the analytic per-die performance evaluation remains a
+        loop.  Under a fixed seed the drawn shifts and offsets are
+        bit-for-bit those of repeated :meth:`sample_performance`
+        calls.
         """
         if n_samples < 1:
             raise ValueError("n_samples must be positive")
         minima = ("gain_db", "gbw_hz", "phase_margin_deg",
                   "slew_rate", "swing")
-        passes: Dict[str, int] = {key: 0 for key in spec}
-        n_all = 0
-        offsets = np.empty(n_samples)
+        batch = self._sampler.sample_dies_batch(n_samples)
+        sigma_in, sigma_beta = self._offset_sigmas()
+        draws = self.rng.standard_normal((n_samples, 2))
+        offsets = np.abs(sigma_in * draws[:, 0]
+                         + 0.1 * sigma_beta * draws[:, 1])
+        # Residual scalar part: the closed-form engine per die.
+        values = np.empty((n_samples, len(spec)))
+        keys = list(spec)
         for i in range(n_samples):
-            perf = self.sample_performance()
-            offsets[i] = perf.offset_sigma
-            all_ok = True
-            for key, bound in spec.items():
-                value = getattr(perf, key)
-                ok = value >= bound if key in minima else value <= bound
-                passes[key] += int(ok)
-                all_ok &= ok
-            n_all += int(all_ok)
+            perf = self._evaluate_shifted(
+                float(batch.vth_global[i]),
+                float(batch.length_factor_global[i]),
+                float(batch.tox_factor_global[i]))
+            perf = dataclasses.replace(perf,
+                                       offset_sigma=float(offsets[i]))
+            for k, key in enumerate(keys):
+                values[i, k] = getattr(perf, key)
+        bounds = np.array([spec[key] for key in keys])
+        is_min = np.array([key in minima for key in keys])
+        ok = np.where(is_min, values >= bounds, values <= bounds)
+        all_ok = ok.all(axis=1) if keys else np.ones(n_samples, bool)
         return YieldReport(
             n_samples=n_samples,
-            overall_yield=n_all / n_samples,
-            per_spec_yield={key: count / n_samples
-                            for key, count in passes.items()},
+            overall_yield=float(np.count_nonzero(all_ok)) / n_samples,
+            per_spec_yield={key: float(np.count_nonzero(ok[:, k]))
+                            / n_samples
+                            for k, key in enumerate(keys)},
             mean_offset=float(offsets.mean()),
             sigma_offset=float(offsets.std(ddof=1)),
         )

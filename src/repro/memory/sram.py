@@ -125,12 +125,60 @@ class SramCell:
             return vdd
         return brentq(net_current, lo, hi, xtol=1e-9)
 
+    def _inverter_vout_many(self, vin: np.ndarray, pull_down: Mosfet,
+                            pull_up: Mosfet,
+                            access: Optional[Mosfet] = None,
+                            n_iter: int = 48) -> np.ndarray:
+        """Vectorized :meth:`_inverter_vout` over a whole V_in grid.
+
+        Solves every grid point's current balance at once by bisection
+        on arrays (the compact model is numpy-vectorized), replacing
+        one ``brentq`` call per point.  ``n_iter`` halvings of [0,
+        V_DD] reach ~V_DD * 2^-48, well inside the scalar path's
+        tolerance.
+        """
+        vdd = self.node.vdd
+        vin = np.asarray(vin, dtype=float)
+
+        def net_current(vout: np.ndarray) -> np.ndarray:
+            i_down = pull_down.ids(vin, vout)
+            i_up = pull_up.ids(vdd - vin, vdd - vout)
+            i_ax = (access.ids(vdd - vout, vdd - vout)
+                    if access else 0.0)
+            return i_up + i_ax - i_down
+
+        lo = np.zeros_like(vin)
+        hi = np.full_like(vin, vdd)
+        pinned_low = net_current(lo) <= 0     # output stuck at 0
+        pinned_high = net_current(hi) >= 0    # output stuck at VDD
+        for _ in range(n_iter):
+            mid = 0.5 * (lo + hi)
+            pull_up_wins = net_current(mid) > 0
+            lo = np.where(pull_up_wins, mid, lo)
+            hi = np.where(pull_up_wins, hi, mid)
+        out = 0.5 * (lo + hi)
+        out = np.where(pinned_low, 0.0, out)
+        return np.where(pinned_high, vdd, out)
+
     def butterfly_curves(self, n_points: int = 101,
-                         read_condition: bool = False
+                         read_condition: bool = False,
+                         vectorized: bool = True
                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(vin, vtc_left, vtc_right): the two cross-coupled VTCs."""
+        """(vin, vtc_left, vtc_right): the two cross-coupled VTCs.
+
+        ``vectorized=False`` falls back to the per-point ``brentq``
+        solve -- kept as the numerical oracle for the fast path.
+        """
         vdd = self.node.vdd
         vin = np.linspace(0.0, vdd, n_points)
+        if vectorized:
+            left = self._inverter_vout_many(
+                vin, self.pd_l, self.pu_l,
+                self.ax_l if read_condition else None)
+            right = self._inverter_vout_many(
+                vin, self.pd_r, self.pu_r,
+                self.ax_r if read_condition else None)
+            return vin, left, right
         left = np.array([self._inverter_vout(
             v, self.pd_l, self.pu_l,
             self.ax_l if read_condition else None) for v in vin])
@@ -245,11 +293,15 @@ def snm_under_mismatch(node: TechnologyNode,
         "ax_l": design.access_ratio * length,
         "ax_r": design.access_ratio * length,
     }
+    names = list(widths)
+    sigmas = np.array([node.avt / math.sqrt(w * length)
+                       for w in widths.values()])
+    # One batched draw for all samples x devices; row-major fill makes
+    # this bit-for-bit the per-sample, per-device scalar loop.
+    offsets_batch = rng.normal(0.0, sigmas, size=(n_samples, len(names)))
     samples = np.empty(n_samples)
     for i in range(n_samples):
-        offsets = {
-            name: rng.normal(0.0, node.avt / math.sqrt(w * length))
-            for name, w in widths.items()}
+        offsets = dict(zip(names, offsets_batch[i]))
         cell = SramCell(node, design, offsets)
         samples[i] = cell.static_noise_margin(
             read_condition=read_condition, n_points=41)

@@ -1,0 +1,41 @@
+"""Performance infrastructure: keyed memo caches and profiling hooks.
+
+The ROADMAP's north star asks the system to run "as fast as the
+hardware allows".  This layer supplies the two cross-cutting tools the
+hot paths share:
+
+* :mod:`repro.perf.cache` -- a keyed memo cache with a global registry
+  for quantities that are recomputed identically across sweeps
+  (technology-node lookups, standard-cell injection characterization);
+* :mod:`repro.perf.profile` -- a ``timed()`` context manager/decorator
+  plus a global timing registry so later PRs can see where time goes
+  without reaching for an external profiler.
+
+The batched Monte Carlo engines themselves live next to the physics
+they accelerate (:mod:`repro.variability.statistical`,
+:mod:`repro.substrate.swan`, ...); see the "Performance architecture"
+section of ``docs/architecture.md`` for the batching contract.
+"""
+
+from .cache import (
+    CacheStats,
+    KeyedCache,
+    cache_registry,
+    cache_stats,
+    clear_caches,
+    memoized,
+)
+from .profile import (
+    TimingRecord,
+    profile_registry,
+    profile_report,
+    reset_profile,
+    timed,
+)
+
+__all__ = [
+    "CacheStats", "KeyedCache", "cache_registry", "cache_stats",
+    "clear_caches", "memoized",
+    "TimingRecord", "profile_registry", "profile_report",
+    "reset_profile", "timed",
+]

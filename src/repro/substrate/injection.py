@@ -25,6 +25,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..perf.cache import memoized
 from ..technology.node import TechnologyNode
 from ..digital.gates import CELL_TYPES, Cell, make_cell
 
@@ -106,6 +107,7 @@ class InjectionMacromodel:
         return pulse + ringing
 
 
+@memoized("injection.characterize_cell")
 def characterize_cell(node: TechnologyNode, cell_name: str,
                       drive: float = 1.0,
                       injection_fraction: float = INJECTION_FRACTION
@@ -115,6 +117,12 @@ def characterize_cell(node: TechnologyNode, cell_name: str,
     The injected charge is a fixed fraction of the cell's switched
     charge (C_switched * V_DD), scaled by the cell's internal-node
     count; the pulse width tracks the cell delay.
+
+    Results are memoized per ``(node, cell, drive, fraction)`` -- the
+    characterization is deterministic and nodes are frozen, so sweeps
+    that re-instantiate simulators (every
+    :class:`~repro.substrate.swan.SwanSimulator`) reuse the library
+    instead of re-deriving it.  The returned macromodel is immutable.
     """
     cell = make_cell(cell_name, node, drive)
     load = 4.0 * cell.input_capacitance
@@ -147,7 +155,12 @@ def characterize_cell(node: TechnologyNode, cell_name: str,
 def characterize_library(node: TechnologyNode,
                          injection_fraction: float = INJECTION_FRACTION
                          ) -> Dict[str, InjectionMacromodel]:
-    """Characterize every cell in the library for ``node``."""
+    """Characterize every cell in the library for ``node``.
+
+    Each cell comes from the :func:`characterize_cell` memo cache; the
+    returned dict itself is fresh per call, so callers may extend it
+    without polluting the cache.
+    """
     return {name: characterize_cell(node, name,
                                     injection_fraction=injection_fraction)
             for name in CELL_TYPES}

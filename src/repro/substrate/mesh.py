@@ -200,31 +200,30 @@ class SubstrateMesh:
         g_h = self._lateral_conductance(horizontal=True)
         g_v_lat = self._lateral_conductance(horizontal=False)
         g_down = self._vertical_conductance()
-        rows: List[int] = []
-        cols: List[int] = []
-        vals: List[float] = []
-
-        def stamp(a: int, b: int, g: float) -> None:
-            rows.extend((a, b, a, b))
-            cols.extend((a, b, b, a))
-            vals.extend((g, g, -g, -g))
-
-        for j in range(self.ny):
-            for i in range(self.nx):
-                node = self.node_index(i, j)
-                if i + 1 < self.nx:
-                    stamp(node, self.node_index(i + 1, j), g_h)
-                if j + 1 < self.ny:
-                    stamp(node, self.node_index(i, j + 1), g_v_lat)
-                stamp(node, bulk, g_down)
+        # Edge list built by array slicing: horizontal neighbours,
+        # vertical neighbours, and every surface node down to the
+        # shared bulk node.  Duplicate (row, col) entries are summed
+        # by the sparse constructor, which realises the stamps.
+        index = np.arange(n).reshape(self.ny, self.nx)
+        edge_a = np.concatenate([index[:, :-1].ravel(),
+                                 index[:-1, :].ravel(),
+                                 index.ravel()])
+        edge_b = np.concatenate([index[:, 1:].ravel(),
+                                 index[1:, :].ravel(),
+                                 np.full(n, bulk)])
+        edge_g = np.concatenate([
+            np.full(self.ny * (self.nx - 1), g_h),
+            np.full((self.ny - 1) * self.nx, g_v_lat),
+            np.full(n, g_down)])
         # Grounded terms go on the diagonal only.
         diag = np.zeros(size)
         diag[bulk] += self._backside_conductance()
         for node, g in self._extra_ground.items():
             diag[node] += g
-        rows.extend(range(size))
-        cols.extend(range(size))
-        vals.extend(diag)
+        every = np.arange(size)
+        rows = np.concatenate([edge_a, edge_b, edge_a, edge_b, every])
+        cols = np.concatenate([edge_a, edge_b, edge_b, edge_a, every])
+        vals = np.concatenate([edge_g, edge_g, -edge_g, -edge_g, diag])
         matrix = sparse.csc_matrix(
             (vals, (rows, cols)), shape=(size, size))
         return matrix

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..perf.cache import memoized
 from .node import TechnologyNode
 
 # Each tuple: (feature nm, VDD V, VT V, tox nm, M1 pitch nm, N_A 1/m^3,
@@ -94,10 +95,14 @@ def available_nodes() -> List[str]:
     return list(_LIBRARY)
 
 
+@memoized("technology.get_node")
 def get_node(name: str) -> TechnologyNode:
     """Look up a built-in node by name (e.g. ``"65nm"``).
 
-    Accepts ``"65nm"``, ``"65"`` and ``65`` interchangeably.
+    Accepts ``"65nm"``, ``"65"`` and ``65`` interchangeably.  Lookups
+    run through a registered :func:`~repro.perf.cache.memoized` cache
+    so sweep code shares one frozen instance per spelling and the
+    cache registry exposes the lookup traffic.
     """
     key = str(name)
     if not key.endswith("nm"):

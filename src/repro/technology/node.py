@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Optional
 
 from ..core.constants import (
@@ -136,8 +137,13 @@ class TechnologyNode:
             object.__setattr__(self, "junction_depth", self.feature_size / 3.0)
 
     # --- derived electrical quantities ------------------------------------
+    # The scalar derivations below sit inside Monte Carlo inner loops
+    # (dopant counting touches depletion_depth/cox per device), so the
+    # pure-function ones are ``cached_property``: computed once per
+    # (immutable) instance, stored on ``__dict__`` which a frozen
+    # dataclass still allows.  Field identity/equality are unaffected.
 
-    @property
+    @cached_property
     def cox(self) -> float:
         """Gate-oxide capacitance per unit area [F/m^2]."""
         return EPSILON_0 * EPSILON_SIO2 / self.tox
@@ -152,13 +158,13 @@ class TechnologyNode:
         """Nominal gate overdrive V_DD - V_T [V]."""
         return self.vdd - self.vth
 
-    @property
+    @cached_property
     def fermi_potential(self) -> float:
         """Bulk Fermi potential phi_F [V] for the channel doping."""
         phi_t = thermal_voltage(self.temperature)
         return phi_t * math.log(self.channel_doping / N_INTRINSIC_SI)
 
-    @property
+    @cached_property
     def depletion_depth(self) -> float:
         """Maximum channel depletion depth [m] (at 2*phi_F band bending)."""
         eps_si = EPSILON_0 * EPSILON_SI

@@ -103,25 +103,22 @@ class ThermalMesh:
         g_h = self._lateral_conductance(True)
         g_v = self._lateral_conductance(False)
         g_down = self._vertical_conductance()
-        rows: List[int] = []
-        cols: List[int] = []
-        vals: List[float] = []
-
-        def stamp(a: int, b: int, g: float) -> None:
-            rows.extend((a, b, a, b))
-            cols.extend((a, b, b, a))
-            vals.extend((g, g, -g, -g))
-
-        for j in range(self.ny):
-            for i in range(self.nx):
-                node = j * self.nx + i
-                if i + 1 < self.nx:
-                    stamp(node, node + 1, g_h)
-                if j + 1 < self.ny:
-                    stamp(node, node + self.nx, g_v)
-        rows.extend(range(n))
-        cols.extend(range(n))
-        vals.extend([g_down] * n)
+        # Neighbour edge list by array slicing (same construction as
+        # the substrate mesh); the sparse constructor sums duplicate
+        # (row, col) entries, realising the stamps.
+        index = np.arange(n).reshape(self.ny, self.nx)
+        edge_a = np.concatenate([index[:, :-1].ravel(),
+                                 index[:-1, :].ravel()])
+        edge_b = np.concatenate([index[:, 1:].ravel(),
+                                 index[1:, :].ravel()])
+        edge_g = np.concatenate([
+            np.full(self.ny * (self.nx - 1), g_h),
+            np.full((self.ny - 1) * self.nx, g_v)])
+        every = np.arange(n)
+        rows = np.concatenate([edge_a, edge_b, edge_a, edge_b, every])
+        cols = np.concatenate([edge_a, edge_b, edge_b, edge_a, every])
+        vals = np.concatenate([edge_g, edge_g, -edge_g, -edge_g,
+                               np.full(n, g_down)])
         return sparse.csc_matrix((vals, (rows, cols)), shape=(n, n))
 
     def solve(self, power_map: np.ndarray) -> np.ndarray:
@@ -149,17 +146,16 @@ class ThermalMesh:
                         ) -> np.ndarray:
         """Power map from (x1, y1, x2, y2, watts) block tuples."""
         power = np.zeros(self.n_nodes)
+        x_centres = (np.arange(self.nx) + 0.5) * self.dx
+        y_centres = (np.arange(self.ny) + 0.5) * self.dy
         for x1, y1, x2, y2, watts in blocks:
             if watts < 0:
                 raise ValueError("block power must be non-negative")
-            tiles = [j * self.nx + i
-                     for j in range(self.ny)
-                     for i in range(self.nx)
-                     if (x1 <= (i + 0.5) * self.dx < x2
-                         and y1 <= (j + 0.5) * self.dy < y2)]
-            if tiles:
-                for tile in tiles:
-                    power[tile] += watts / len(tiles)
+            inside = np.outer((y1 <= y_centres) & (y_centres < y2),
+                              (x1 <= x_centres) & (x_centres < x2))
+            count = np.count_nonzero(inside)
+            if count:
+                power += (watts / count) * inside.ravel()
         return power
 
     def hotspot(self, power_map: np.ndarray) -> Tuple[int, float]:

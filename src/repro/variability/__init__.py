@@ -32,12 +32,14 @@ from .spatial import (
     sample_vt_map,
 )
 from .statistical import (
+    DieBatch,
     MonteCarloSampler,
     SampledDevice,
     SampledDie,
     VariationSpec,
     YieldResult,
     monte_carlo_yield,
+    monte_carlo_yield_batch,
     relative_variability_trend,
     worst_case_value,
 )
@@ -52,7 +54,8 @@ __all__ = [
     "sigma_delta_vth",
     "SpatialSpec", "VtMap", "common_centroid_benefit",
     "matching_vs_distance", "sample_vt_map",
-    "MonteCarloSampler", "SampledDevice", "SampledDie", "VariationSpec",
-    "YieldResult", "monte_carlo_yield", "relative_variability_trend",
+    "DieBatch", "MonteCarloSampler", "SampledDevice", "SampledDie",
+    "VariationSpec", "YieldResult", "monte_carlo_yield",
+    "monte_carlo_yield_batch", "relative_variability_trend",
     "worst_case_value",
 ]

@@ -158,6 +158,40 @@ class DopantPlacementModel:
                              source_encroachment=source,
                              drain_encroachment=drain)
 
+    def sample_batch(self, n_devices: int,
+                     width: Optional[float] = None,
+                     length: Optional[float] = None
+                     ) -> Dict[str, np.ndarray]:
+        """Batched draw of ``n_devices`` devices' count and L_eff.
+
+        Vectorized twin of repeated :meth:`sample` calls for the
+        statistics that do not need individual dopant *positions*:
+        returns ``count`` (Poisson per device), ``source``/``drain``
+        encroachments (max of the per-column exponential tails) and
+        ``effective_length``, each of shape ``(n_devices,)``.  The
+        per-dopant (x, y) clouds are skipped, which is what makes the
+        batch 10-100x faster than the scalar loop; the distributions
+        of the returned quantities are identical.
+        """
+        if n_devices < 1:
+            raise ValueError("n_devices must be positive")
+        length = length if length is not None else self.node.feature_size
+        width = width if width is not None else 2.0 * length
+        mean_count = channel_dopant_count(self.node, width, length)
+        counts = self.rng.poisson(mean_count, size=n_devices)
+        columns = max(int(width / self.node.wire_pitch * 4), 1)
+        tails = self.rng.exponential(
+            self.lateral_straggle, size=(n_devices, 2, columns))
+        encroachment = tails.max(axis=2)
+        effective = np.maximum(
+            length - encroachment[:, 0] - encroachment[:, 1], 0.0)
+        return {
+            "count": counts.astype(float),
+            "source_encroachment": encroachment[:, 0],
+            "drain_encroachment": encroachment[:, 1],
+            "effective_length": effective,
+        }
+
     def effective_length_statistics(self, n_devices: int,
                                     width: Optional[float] = None,
                                     length: Optional[float] = None
@@ -165,9 +199,8 @@ class DopantPlacementModel:
         """MC statistics of L_eff across ``n_devices`` devices."""
         if n_devices < 2:
             raise ValueError("need at least two devices for statistics")
-        samples = np.array([
-            self.sample(width, length).effective_length
-            for _ in range(n_devices)])
+        samples = self.sample_batch(n_devices, width,
+                                    length)["effective_length"]
         nominal = length if length is not None else self.node.feature_size
         return {
             "n_devices": float(n_devices),
@@ -181,9 +214,7 @@ class DopantPlacementModel:
                          width: Optional[float] = None,
                          length: Optional[float] = None) -> Dict[str, float]:
         """MC statistics of the dopant count; checks sqrt(N) scaling."""
-        counts = np.array([
-            self.sample(width, length).count for _ in range(n_devices)],
-            dtype=float)
+        counts = self.sample_batch(n_devices, width, length)["count"]
         return {
             "mean_count": float(counts.mean()),
             "sigma_count": float(counts.std(ddof=1)),
