@@ -30,6 +30,7 @@ from . import (
     interconnect,
     memory,
     perf,
+    robust,
     signal_integrity,
     substrate,
     synthesis,
@@ -42,6 +43,6 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analog", "core", "devices", "digital", "interconnect", "memory",
-    "perf", "signal_integrity", "substrate", "synthesis", "technology",
-    "thermal", "variability", "__version__",
+    "perf", "robust", "signal_integrity", "substrate", "synthesis",
+    "technology", "thermal", "variability", "__version__",
 ]

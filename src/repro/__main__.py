@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List, Optional
 
 
@@ -47,11 +48,12 @@ def cmd_nodes(_args) -> int:
 
 
 def cmd_node(args) -> int:
+    from .robust import RoadmapDataError
     from .technology import get_node
     try:
         node = get_node(args.name)
-    except KeyError as error:
-        print(error, file=sys.stderr)
+    except RoadmapDataError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 1
     print(node)
     for key, value in node.summary().items():
@@ -125,6 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="65 nm CMOS 'end of the road?' analysis toolkit")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat model-domain warnings (e.g. out-of-calibration "
+             "temperatures) as errors")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("nodes", help="list the built-in technology nodes"
@@ -161,9 +167,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Model-boundary failures (:class:`~repro.robust.ReproError`) exit
+    with a one-line ``error:`` message and status 1 -- never a
+    traceback.  ``--strict`` additionally promotes
+    :class:`~repro.robust.ReproWarning` (out-of-calibration inputs,
+    non-converged sweep points) to errors.
+    """
+    from .robust import ReproError, ReproWarning
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    with warnings.catch_warnings():
+        if args.strict:
+            warnings.simplefilter("error", category=ReproWarning)
+        try:
+            return args.func(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except ReproWarning as warning:
+            print(f"error (strict): {warning}", file=sys.stderr)
+            return 1
 
 
 if __name__ == "__main__":

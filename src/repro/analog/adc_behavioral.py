@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..robust.errors import CalibrationError
 from ..technology.node import TechnologyNode
 from ..variability.pelgrom import sigma_delta_vth
 from .noise import enob_from_snr
@@ -146,7 +147,9 @@ class PipelineAdc:
     def corrected_output(self, codes: np.ndarray) -> np.ndarray:
         """Map raw codes through the calibration table [V]."""
         if self._calibration is None:
-            raise RuntimeError("call calibrate() first")
+            raise CalibrationError(
+                "no calibration table: call calibrate() before "
+                "corrected_output()")
         cal_codes = self._calibration[:, 0]
         cal_volts = self._calibration[:, 1]
         return np.interp(codes, cal_codes, cal_volts)

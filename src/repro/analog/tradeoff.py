@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.constants import BOLTZMANN, kt_energy
+from ..robust.errors import ModelDomainError
+from ..robust.validate import validated
 from ..technology.node import TechnologyNode
 
 
@@ -36,24 +38,29 @@ DEFAULT_SWING_FRACTION = 0.6
 DEFAULT_EFFICIENCY = 0.01
 
 
+@validated(_result_finite=True, n_bits="positive")
 def accuracy_from_bits(n_bits: float) -> float:
     """Voltage dynamic range equivalent to ``n_bits`` of SNR.
 
     DR = 2^N * sqrt(1.5): the ratio of RMS full-scale sine to the
     quantization-noise floor.
     """
-    if n_bits <= 0:
-        raise ValueError("n_bits must be positive")
-    return 2.0 ** n_bits * math.sqrt(1.5)
+    try:
+        return 2.0 ** n_bits * math.sqrt(1.5)
+    except OverflowError:
+        raise ModelDomainError(
+            f"n_bits={n_bits!r} overflows the dynamic-range "
+            f"computation") from None
 
 
+@validated(_result_finite=True, accuracy="positive")
 def bits_from_accuracy(accuracy: float) -> float:
     """Inverse of :func:`accuracy_from_bits`."""
-    if accuracy <= 0:
-        raise ValueError("accuracy must be positive")
     return math.log2(accuracy / math.sqrt(1.5))
 
 
+@validated(_result_finite=True, temperature="positive",
+           efficiency="fraction")
 def thermal_noise_constant(temperature: float = 300.0,
                            efficiency: float = DEFAULT_EFFICIENCY) -> float:
     """Eq. 4's right-hand side for the thermal-noise limit [J].
@@ -62,11 +69,11 @@ def thermal_noise_constant(temperature: float = 300.0,
     temperature (and implementation efficiency), NOT on technology --
     the fundamental floor in Fig. 6.
     """
-    if not 0 < efficiency <= 1:
-        raise ValueError("efficiency must be in (0, 1]")
     return 8.0 * kt_energy(temperature) / efficiency
 
 
+@validated(_result_finite=True, swing_fraction="fraction",
+           efficiency="fraction")
 def mismatch_constant(node: TechnologyNode,
                       swing_fraction: float = DEFAULT_SWING_FRACTION,
                       efficiency: float = DEFAULT_EFFICIENCY) -> float:
@@ -76,14 +83,12 @@ def mismatch_constant(node: TechnologyNode,
     efficiency: set by the process matching quality A_VT and oxide
     capacitance.  Improves (slowly) with scaling since A_VT ~ t_ox.
     """
-    if not 0 < swing_fraction <= 1:
-        raise ValueError("swing_fraction must be in (0, 1]")
-    if not 0 < efficiency <= 1:
-        raise ValueError("efficiency must be in (0, 1]")
     swing_penalty = 1.0 / swing_fraction ** 2
     return 2.0 * node.avt ** 2 * node.cox * swing_penalty / efficiency
 
 
+@validated(_result_finite=True, speed="positive", accuracy="positive",
+           temperature="positive", efficiency="fraction")
 def minimum_power(speed: float, accuracy: float,
                   node: Optional[TechnologyNode] = None,
                   temperature: float = 300.0,
@@ -93,8 +98,6 @@ def minimum_power(speed: float, accuracy: float,
     With a ``node`` the mismatch limit is included (it dominates for
     untrimmed circuits, the paper's Fig. 6 observation).
     """
-    if speed <= 0 or accuracy <= 0:
-        raise ValueError("speed and accuracy must be positive")
     thermal = speed * accuracy ** 2 * thermal_noise_constant(
         temperature, efficiency)
     result = {"thermal_W": thermal}

@@ -23,11 +23,14 @@ from typing import Union
 import numpy as np
 
 from ..core.constants import thermal_voltage
+from ..robust.validate import validated
 from ..technology.node import TechnologyNode
 
 ArrayLike = Union[float, np.ndarray]
 
 
+@validated(_result_finite=True, i0="non-negative", vth="finite",
+           n="positive", temperature="positive", vgs="finite")
 def subthreshold_current(i0: ArrayLike, vth: ArrayLike,
                          n: float = 1.4,
                          temperature: float = 300.0,
@@ -57,6 +60,8 @@ def subthreshold_current(i0: ArrayLike, vth: ArrayLike,
     return result if result.ndim else float(result)
 
 
+@validated(_result_finite=True, vth0="finite", dibl="finite",
+           vds="finite")
 def dibl_effective_vth(vth0: ArrayLike, dibl: float,
                        vds: ArrayLike) -> ArrayLike:
     """Equivalent V_DS-dependent V_T decrease (section 2.1, Fig. 1).
@@ -67,6 +72,9 @@ def dibl_effective_vth(vth0: ArrayLike, dibl: float,
     return result if np.ndim(result) else float(result)
 
 
+@validated(_result_finite=True, width="non-negative", vgb="finite",
+           tox="positive", k_fit="non-negative",
+           alpha_fit="non-negative", length="positive")
 def gate_leakage_current(width: ArrayLike, vgb: ArrayLike, tox: float,
                          k_fit: float, alpha_fit: float,
                          length: ArrayLike = None) -> ArrayLike:
@@ -87,8 +95,6 @@ def gate_leakage_current(width: ArrayLike, vgb: ArrayLike, tox: float,
     """
     width = np.asarray(width, dtype=float)
     vgb = np.asarray(vgb, dtype=float)
-    if tox <= 0:
-        raise ValueError(f"tox must be positive, got {tox}")
     geometry = width if length is None else width * np.asarray(length, float)
     safe_vgb = np.maximum(np.abs(vgb), 1e-12)
     result = (k_fit * geometry * (safe_vgb / tox) ** 2
@@ -114,6 +120,8 @@ class LeakageBudget:
         return self.total * vdd
 
 
+@validated(_result_finite=True, width="positive", length="positive",
+           vds="finite", vbs="finite", vth_offset="finite")
 def device_leakage(node: TechnologyNode, width: float,
                    length: float = None,
                    vds: float = None,
@@ -146,6 +154,8 @@ def device_leakage(node: TechnologyNode, width: float,
     return LeakageBudget(subthreshold=isub, gate=igate)
 
 
+@validated(_result_finite=True, nmos_width="positive",
+           pmos_width="positive", fanin="count")
 def gate_leakage_per_gate(node: TechnologyNode,
                           nmos_width: float = None,
                           pmos_width: float = None,
@@ -167,6 +177,7 @@ def gate_leakage_per_gate(node: TechnologyNode,
     return LeakageBudget(subthreshold=isub, gate=igate)
 
 
+@validated(_result_finite=True, gates_per_mm2="positive")
 def leakage_power_density(node: TechnologyNode,
                           gates_per_mm2: float = None) -> float:
     """Static power density [W/m^2] of random logic in ``node``.
@@ -183,6 +194,7 @@ def leakage_power_density(node: TechnologyNode,
     return per_gate * gates_per_m2
 
 
+@validated(_result_finite=True, vth_values="finite", width="positive")
 def ioff_vs_vth_sweep(node: TechnologyNode, vth_values: np.ndarray,
                       width: float = None) -> np.ndarray:
     """Off-current sweep over candidate V_T values [A].

@@ -26,6 +26,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..core.constants import thermal_voltage
+from ..robust.errors import ModelDomainError
 from ..technology.node import TechnologyNode
 
 ArrayLike = Union[float, np.ndarray]
@@ -78,10 +79,20 @@ class Mosfet:
     def __post_init__(self) -> None:
         if self.length == 0.0:
             self.length = self.node.feature_size
-        if self.width <= 0 or self.length <= 0:
-            raise ValueError("device dimensions must be positive")
+        if not (math.isfinite(self.width) and math.isfinite(self.length)
+                and self.width > 0 and self.length > 0):
+            raise ModelDomainError(
+                f"device dimensions must be positive finite, got "
+                f"W={self.width!r} L={self.length!r}")
+        if not math.isfinite(self.vth_offset):
+            raise ModelDomainError(
+                f"vth_offset must be finite, got {self.vth_offset!r}")
         if self.temperature == 0.0:
             self.temperature = self.node.temperature
+        if not (math.isfinite(self.temperature) and self.temperature > 0):
+            raise ModelDomainError(
+                f"temperature must be positive finite, got "
+                f"{self.temperature!r}")
 
     # --- threshold -------------------------------------------------------
 
@@ -156,11 +167,20 @@ class Mosfet:
             np.asarray(vgs, dtype=float),
             np.asarray(vds, dtype=float),
             np.asarray(vbs, dtype=float))
+        if not (np.all(np.isfinite(vgs)) and np.all(np.isfinite(vds))
+                and np.all(np.isfinite(vbs))):
+            raise ModelDomainError(
+                "terminal voltages must be finite (got NaN/inf in "
+                "vgs, vds or vbs)")
         weak = self._subthreshold_current(vgs, vds, vbs)
         strong = self._strong_inversion_current(vgs, vds, vbs)
         vth = np.asarray(self.vth(vds=vds, vbs=vbs), dtype=float)
         weak_at_vth = self._subthreshold_current(vth, vds, vbs)
         out = np.where(vgs >= vth, strong + weak_at_vth, weak)
+        if not np.all(np.isfinite(out)):
+            raise ModelDomainError(
+                "Mosfet.ids produced a non-finite current: the bias "
+                "point lies outside the model's validity domain")
         return out if out.ndim else float(out)
 
     def off_current(self, vds: Optional[float] = None,

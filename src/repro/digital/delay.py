@@ -22,6 +22,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..robust.errors import ModelDomainError
+from ..robust.validate import check_non_negative, check_positive, validated
 from ..technology.node import TechnologyNode
 from ..devices.capacitance import (inverter_input_capacitance,
                                    inverter_self_load)
@@ -49,13 +51,19 @@ class DelayModel:
     load_capacitance: float
     prefactor: float = 0.5
 
+    def __post_init__(self) -> None:
+        check_positive("drive_width", self.drive_width)
+        check_non_negative("load_capacitance", self.load_capacitance)
+        check_positive("prefactor", self.prefactor)
+
+    @validated(_result_finite=True, vth="finite", vdd="positive")
     def delay(self, vth: Optional[float] = None,
               vdd: Optional[float] = None) -> float:
         """Gate delay [s] at the given (or nominal) V_T and V_DD."""
         vth = vth if vth is not None else self.node.vth
         vdd = vdd if vdd is not None else self.node.vdd
         if vdd <= vth:
-            raise ValueError(
+            raise ModelDomainError(
                 f"vdd ({vdd}) must exceed vth ({vth}) for the gate to switch")
         mu_cox_wl = (self.node.mobility_n * self.node.cox
                      * self.drive_width / self.node.feature_size)
@@ -75,6 +83,8 @@ class DelayModel:
         vth = vth if vth is not None else self.node.vth
         return self.node.alpha_power / (self.node.vdd - vth)
 
+    @validated(_result_finite=True, sigma_vth="non-negative",
+               n_sigma="non-negative")
     def delay_spread(self, sigma_vth: float,
                      n_sigma: float = 3.0) -> Dict[str, float]:
         """Delay statistics under a Gaussian V_T spread.
@@ -82,8 +92,6 @@ class DelayModel:
         Evaluates the exact delay at +/- ``n_sigma`` and the linearized
         sigma; returns absolute and relative numbers.
         """
-        if sigma_vth < 0:
-            raise ValueError("sigma_vth must be non-negative")
         nominal = self.delay()
         slow = self.delay(vth=self.node.vth + n_sigma * sigma_vth)
         fast = self.delay(vth=self.node.vth - n_sigma * sigma_vth)
@@ -108,6 +116,7 @@ class DelayModel:
         return np.array([self.delay(vth=self.node.vth + s) for s in shifts])
 
 
+@validated(drive_width="positive")
 def fo4_load(node: TechnologyNode, drive_width: float) -> float:
     """Fan-out-of-4 load capacitance [F] for a driver of ``drive_width``."""
     return 4.0 * inverter_input_capacitance(node, drive_width)
@@ -151,6 +160,7 @@ def delay_variability_trend(nodes: Sequence[TechnologyNode],
     return rows
 
 
+@validated(_result_finite=True, vdd="positive", vth="finite")
 def energy_delay_product(node: TechnologyNode,
                          vdd: Optional[float] = None,
                          vth: Optional[float] = None) -> Dict[str, float]:

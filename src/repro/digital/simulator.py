@@ -19,6 +19,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..robust.errors import ModelDomainError, SimulationBudgetError
+from ..robust.guards import SimulationBudget
+from ..robust.validate import check_count, check_positive
 from .netlist import Instance, Netlist
 
 
@@ -77,15 +80,41 @@ class EventDrivenSimulator:
     wire_cap_per_fanout:
         Crude wire-load model passed to the netlist's fanout
         capacitance estimate.
+    event_budget:
+        Total simulated events allowed per :meth:`run` call (None =
+        unlimited).  Exceeding it raises a typed
+        :class:`~repro.robust.errors.SimulationBudgetError` instead of
+        looping forever on a pathological design.
+    oscillation_limit:
+        Maximum toggles of any single net within one clock cycle
+        before the run is declared oscillatory (glitch storm /
+        combinational ringing) and a
+        :class:`~repro.robust.errors.SimulationBudgetError` is raised.
     """
 
+    #: Default per-run event budget: generous for real designs, finite
+    #: so a glitch storm terminates with a typed error.
+    DEFAULT_EVENT_BUDGET = 1_000_000
+    #: Default per-net per-cycle toggle limit.
+    DEFAULT_OSCILLATION_LIMIT = 512
+
     def __init__(self, netlist: Netlist, clock_period: float = 1e-9,
-                 wire_cap_per_fanout: float = 0.5e-15):
-        if clock_period <= 0:
-            raise ValueError("clock_period must be positive")
+                 wire_cap_per_fanout: float = 0.5e-15,
+                 event_budget: Optional[int] = DEFAULT_EVENT_BUDGET,
+                 oscillation_limit: Optional[int] =
+                 DEFAULT_OSCILLATION_LIMIT):
+        check_positive("clock_period", clock_period)
+        check_positive("wire_cap_per_fanout", wire_cap_per_fanout)
+        if event_budget is not None:
+            event_budget = check_count("event_budget", event_budget)
+        if oscillation_limit is not None:
+            oscillation_limit = check_count("oscillation_limit",
+                                            oscillation_limit)
         self.netlist = netlist
         self.clock_period = clock_period
         self.wire_cap_per_fanout = wire_cap_per_fanout
+        self.event_budget = event_budget
+        self.oscillation_limit = oscillation_limit
         self._delay_cache: Dict[str, float] = {}
         self._loads_cache: Dict[str, List[Instance]] = {}
 
@@ -118,12 +147,13 @@ class EventDrivenSimulator:
         just after each rising clock edge; flip-flops sample the value
         their data nets held at the edge.
         """
-        if n_cycles < 1:
-            raise ValueError("n_cycles must be positive")
+        n_cycles = check_count("n_cycles", n_cycles)
         missing = [net for net in self.netlist.primary_inputs
                    if net not in stimulus]
         if missing:
-            raise ValueError(f"missing stimulus for inputs {missing}")
+            raise ModelDomainError(
+                f"missing stimulus for inputs {missing}")
+        budget = SimulationBudget(self.event_budget, name="event budget")
 
         values: Dict[str, bool] = {net: False for net in self.netlist.nets}
         if initial_state:
@@ -144,6 +174,7 @@ class EventDrivenSimulator:
         for cycle in range(n_cycles):
             edge_time = cycle * self.clock_period
             queue: List[Tuple[float, int, str, bool, Optional[str]]] = []
+            cycle_toggles: Dict[str, int] = {}
 
             # Flip-flops sample their data nets at the edge (clk-to-q
             # delay = the cell's loaded delay).
@@ -176,6 +207,16 @@ class EventDrivenSimulator:
                     values[net] = value
                     continue
                 values[net] = value
+                budget.spend()
+                toggles = cycle_toggles.get(net, 0) + 1
+                cycle_toggles[net] = toggles
+                if self.oscillation_limit is not None \
+                        and toggles > self.oscillation_limit:
+                    raise SimulationBudgetError(
+                        f"net {net!r} toggled {toggles} times in cycle "
+                        f"{cycle} (oscillation_limit="
+                        f"{self.oscillation_limit}): the design is "
+                        f"oscillating or glitch-storming")
                 events.append(SwitchingEvent(
                     time=time, net=net, value=value, instance=source))
                 for load in self._loads(net):

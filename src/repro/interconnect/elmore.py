@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..robust.validate import check_count, check_non_negative, validated
 from .wire import WireGeometry, capacitance_per_length, resistance_per_length
 
 
@@ -53,8 +54,7 @@ class RCTree:
     """
 
     def __init__(self, driver_resistance: float = 0.0):
-        if driver_resistance < 0:
-            raise ValueError("driver_resistance must be non-negative")
+        check_non_negative("driver_resistance", driver_resistance)
         self.root = RCNode("root", resistance=driver_resistance)
 
     def subtree_capacitance(self, node: Optional[RCNode] = None) -> float:
@@ -112,6 +112,9 @@ class RCTree:
         return max(delays) - min(delays)
 
 
+@validated(length="non-negative", segments="count",
+           driver_resistance="non-negative",
+           load_capacitance="non-negative")
 def uniform_line(geom: WireGeometry, length: float, segments: int = 10,
                  driver_resistance: float = 0.0,
                  load_capacitance: float = 0.0,
@@ -122,10 +125,6 @@ def uniform_line(geom: WireGeometry, length: float, segments: int = 10,
     R_drv*c*L + (R_drv + r*L)*C_load, the standard driver-wire-load
     formula.
     """
-    if segments < 1:
-        raise ValueError("segments must be >= 1")
-    if length < 0:
-        raise ValueError("length must be non-negative")
     r_seg = resistance_per_length(geom) * length / segments
     c_seg = capacitance_per_length(geom) * length / segments
     tree = RCTree(driver_resistance=driver_resistance)
@@ -139,6 +138,9 @@ def uniform_line(geom: WireGeometry, length: float, segments: int = 10,
     return tree
 
 
+@validated(_result_finite=True, length="non-negative",
+           driver_resistance="non-negative",
+           load_capacitance="non-negative")
 def driver_wire_load_delay(geom: WireGeometry, length: float,
                            driver_resistance: float,
                            load_capacitance: float) -> float:

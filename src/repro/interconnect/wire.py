@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.constants import EPSILON_0
+from ..robust.errors import ModelDomainError
+from ..robust.validate import check_positive, validated
 from ..technology.node import TechnologyNode
 
 
@@ -47,12 +49,14 @@ class WireGeometry:
     resistivity: float = 1.68e-8
 
     def __post_init__(self) -> None:
-        if self.pitch <= 0:
-            raise ValueError(f"pitch must be positive, got {self.pitch}")
+        check_positive("pitch", self.pitch)
         if not 0 < self.width_fraction < 1:
-            raise ValueError("width_fraction must be in (0, 1)")
-        if self.aspect_ratio <= 0:
-            raise ValueError("aspect_ratio must be positive")
+            raise ModelDomainError(
+                f"width_fraction must be in (0, 1), "
+                f"got {self.width_fraction!r}")
+        check_positive("aspect_ratio", self.aspect_ratio)
+        check_positive("dielectric_k", self.dielectric_k)
+        check_positive("resistivity", self.resistivity)
 
     @property
     def width(self) -> float:
@@ -99,6 +103,7 @@ def resistance_per_length(geom: WireGeometry) -> float:
     return geom.resistivity / (geom.width * geom.thickness)
 
 
+@validated(_result_finite=True, miller_factor="positive")
 def capacitance_per_length(geom: WireGeometry,
                            miller_factor: float = 1.0) -> float:
     """Wire capacitance per unit length c [F/m].
@@ -115,11 +120,11 @@ def capacitance_per_length(geom: WireGeometry,
     return sidewall + plates + fringe
 
 
+@validated(_result_finite=True, length="non-negative",
+           miller_factor="positive")
 def wire_delay(geom: WireGeometry, length: float,
                miller_factor: float = 1.0) -> float:
     """Eq. 3: distributed RC delay t = r*c*L^2/2 [s]."""
-    if length < 0:
-        raise ValueError(f"length must be non-negative, got {length}")
     r = resistance_per_length(geom)
     c = capacitance_per_length(geom, miller_factor)
     return 0.5 * r * c * length ** 2
@@ -134,6 +139,8 @@ def wire_delay_in_pitches(geom: WireGeometry, n_pitches: float) -> float:
     return wire_delay(geom, n_pitches * geom.pitch)
 
 
+@validated(_result_finite=True, length="non-negative",
+           vdd="non-negative", activity="non-negative")
 def wire_energy(geom: WireGeometry, length: float, vdd: float,
                 activity: float = 1.0) -> float:
     """Dynamic energy per (activity-weighted) transition C*V^2 [J].
@@ -141,8 +148,6 @@ def wire_energy(geom: WireGeometry, length: float, vdd: float,
     Section 2.3: the interconnect-capacitance share of power grows
     with scaling just as its delay share does.
     """
-    if length < 0 or vdd < 0:
-        raise ValueError("length and vdd must be non-negative")
     c = capacitance_per_length(geom)
     return activity * c * length * vdd ** 2
 

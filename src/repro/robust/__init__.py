@@ -1,0 +1,63 @@
+"""Hardened model boundary: error taxonomy, validation, guards, faults.
+
+The paper's closed-form models are routinely evaluated at the edge of
+their validity -- sub-100 mV overdrives, exponential leakage, thermal
+runaway, sigma-driven yield tails.  This package supplies the
+machinery that makes those evaluations fail *loudly* instead of
+silently:
+
+* :mod:`repro.robust.errors` -- the typed exception hierarchy
+  (:class:`ReproError` and friends) plus the warning taxonomy;
+* :mod:`repro.robust.validate` -- physical-domain checks and the
+  :func:`validated` decorator applied at public model entry points;
+* :mod:`repro.robust.guards` -- uniform convergence/budget guards
+  (:class:`IterationGuard`, :class:`SimulationBudget`) shared by the
+  electrothermal solver, the sizing loops, the logic simulator and
+  the router;
+* :mod:`repro.robust.faults` -- the deterministic fault-injection
+  harness asserting the package-wide contract: every public model API
+  returns finite values or raises a typed :class:`ReproError`.
+"""
+
+from .errors import (
+    CalibrationError,
+    ConvergenceError,
+    ConvergenceWarning,
+    ModelDomainError,
+    ModelDomainWarning,
+    ReproError,
+    ReproWarning,
+    RoadmapDataError,
+    SimulationBudgetError,
+)
+from .guards import ConvergenceReport, IterationGuard, SimulationBudget
+from .validate import (
+    check_count,
+    check_finite,
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_range,
+    ensure_finite_output,
+    validated,
+)
+from .faults import (
+    ApiSpec,
+    FaultOutcome,
+    FaultReport,
+    PERTURBATIONS,
+    default_registry,
+    run_fault_sweep,
+)
+
+__all__ = [
+    "ReproError", "ModelDomainError", "ConvergenceError",
+    "RoadmapDataError", "SimulationBudgetError", "CalibrationError",
+    "ReproWarning", "ModelDomainWarning", "ConvergenceWarning",
+    "ConvergenceReport", "IterationGuard", "SimulationBudget",
+    "check_finite", "check_positive", "check_non_negative",
+    "check_range", "check_fraction", "check_count",
+    "ensure_finite_output", "validated",
+    "ApiSpec", "FaultOutcome", "FaultReport", "PERTURBATIONS",
+    "default_registry", "run_fault_sweep",
+]

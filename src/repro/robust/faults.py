@@ -1,0 +1,402 @@
+"""Deterministic fault-injection harness for the public model APIs.
+
+The contract every public model entry point must honour (enforced as
+a tier-1 test suite)::
+
+    for any perturbed numeric input -- NaN, +/-inf, zero, negative,
+    or an extreme corner -- the call either returns only finite
+    values or raises a typed ReproError subclass.
+
+No raw NaN/inf escapes; no unhandled ``TypeError`` /
+``ZeroDivisionError`` / bare builtin exceptions.  The sweep is fully
+deterministic: a fixed perturbation set applied parameter-by-
+parameter over a fixed registry, with fixed RNG seeds where an API is
+stochastic.
+
+Registering a new API
+---------------------
+Append an :class:`ApiSpec` in :func:`default_registry` (or pass your
+own registry to :func:`run_fault_sweep`): a name, a keyword-only
+callable, a known-good ``baseline`` kwarg dict, and the tuple of
+numeric parameter names to ``perturb``.  The baseline call itself
+must return finite values -- the sweep checks that first.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import ReproError
+from .validate import iter_numeric_leaves
+
+__all__ = ["ApiSpec", "FaultOutcome", "FaultReport", "PERTURBATIONS",
+           "default_registry", "run_fault_sweep"]
+
+
+#: The perturbation set swept over every registered numeric parameter.
+PERTURBATIONS: Tuple[float, ...] = (
+    float("nan"), float("inf"), float("-inf"),
+    0.0, -1.0, 1e30, 1e-30,
+)
+
+
+@dataclass(frozen=True)
+class ApiSpec:
+    """One public model API registered for fault injection.
+
+    ``call`` must accept keyword arguments only (wrap methods and
+    constructors in a lambda); ``baseline`` is a known-good input set
+    and ``perturb`` names the numeric parameters to sweep.
+    """
+
+    name: str
+    call: Callable[..., Any]
+    baseline: Mapping[str, Any]
+    perturb: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """Result of one perturbed call."""
+
+    api: str
+    param: str
+    value: str              # repr of the injected value
+    status: str             # "finite" | "typed-error" | "nan-escape" | "crash"
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether this call honoured the robustness contract."""
+        return self.status in ("finite", "typed-error")
+
+
+@dataclass
+class FaultReport:
+    """Aggregate outcome of a fault-injection sweep."""
+
+    outcomes: List[FaultOutcome] = field(default_factory=list)
+    n_apis: int = 0
+
+    @property
+    def failures(self) -> List[FaultOutcome]:
+        """Calls that leaked non-finite values or crashed untyped."""
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def passed(self) -> bool:
+        """True when every perturbed call honoured the contract."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        by_status: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            by_status[outcome.status] = by_status.get(outcome.status, 0) + 1
+        lines = [f"fault sweep: {self.n_apis} APIs, "
+                 f"{len(self.outcomes)} perturbed calls, "
+                 f"{len(self.failures)} contract violations"]
+        for status in sorted(by_status):
+            lines.append(f"  {status}: {by_status[status]}")
+        for outcome in self.failures[:20]:
+            lines.append(f"  FAIL {outcome.api}({outcome.param}="
+                         f"{outcome.value}): {outcome.status} "
+                         f"{outcome.detail}")
+        return "\n".join(lines)
+
+
+def _classify(result: Any) -> Tuple[str, str]:
+    """Classify a returned value: all-finite or a NaN/inf escape."""
+    for leaf in iter_numeric_leaves(result):
+        if not np.all(np.isfinite(leaf)):
+            return "nan-escape", f"non-finite value in {type(result).__name__}"
+    return "finite", ""
+
+
+def _call_one(spec: ApiSpec, kwargs: Dict[str, Any]) -> Tuple[str, str]:
+    """Invoke one API and classify the outcome.
+
+    Numpy overflow/invalid warnings are expected when probing extreme
+    corners -- the classification below catches the non-finite result
+    itself, which is the actual contract.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        with np.errstate(all="ignore"):
+            try:
+                result = spec.call(**kwargs)
+            except ReproError as error:
+                return "typed-error", f"{type(error).__name__}: {error}"
+            except Exception as error:  # noqa: BLE001 - the point of the sweep
+                return "crash", f"{type(error).__name__}: {error}"
+    return _classify(result)
+
+
+def run_fault_sweep(registry: Optional[Sequence[ApiSpec]] = None,
+                    perturbations: Sequence[float] = PERTURBATIONS
+                    ) -> FaultReport:
+    """Sweep every registered API with every perturbation.
+
+    Returns a :class:`FaultReport`; ``report.passed`` is the tier-1
+    assertion.  The baseline (unperturbed) call of each API is checked
+    first -- a registry entry whose baseline crashes or returns
+    non-finite values is itself a failure.
+    """
+    registry = list(default_registry() if registry is None else registry)
+    report = FaultReport(n_apis=len(registry))
+    for spec in registry:
+        status, detail = _call_one(spec, dict(spec.baseline))
+        if status != "finite":
+            report.outcomes.append(FaultOutcome(
+                api=spec.name, param="<baseline>", value="-",
+                status="crash" if status == "typed-error" else status,
+                detail=f"baseline call must succeed finitely: {detail}"))
+            continue
+        for param in spec.perturb:
+            for value in perturbations:
+                kwargs = dict(spec.baseline)
+                kwargs[param] = value
+                status, detail = _call_one(spec, kwargs)
+                report.outcomes.append(FaultOutcome(
+                    api=spec.name, param=param, value=repr(value),
+                    status=status, detail=detail))
+    return report
+
+
+def default_registry() -> List[ApiSpec]:
+    """The built-in registry of public model APIs (>= 25 entries).
+
+    Imports lazily so ``repro.robust`` stays import-light and free of
+    circular dependencies.
+    """
+    from ..analog import tradeoff
+    from ..devices import leakage
+    from ..devices.mosfet import Mosfet
+    from ..digital import delay as ddelay
+    from ..interconnect import elmore, wire
+    from ..technology.library import get_node
+    from ..technology.node import TechnologyNode
+    from ..thermal.electrothermal import solve_operating_point
+    from ..thermal.mesh import ThermalStack
+    from ..variability import dopants, ler, pelgrom
+    from ..variability.statistical import (MonteCarloSampler, VariationSpec,
+                                           monte_carlo_yield_batch)
+
+    node = get_node("65nm")
+    f = node.feature_size
+    geometry = wire.WireGeometry.for_node(node)
+
+    def mosfet_ids(width: float, vgs: float, vds: float,
+                   vbs: float) -> float:
+        return Mosfet(node, width=width).ids(vgs, vds, vbs)
+
+    def mosfet_off_current(width: float, vds: float) -> float:
+        return Mosfet(node, width=width).off_current(vds=vds)
+
+    def fo4_delay(drive_width: float, vth: float, vdd: float) -> float:
+        return ddelay.fo4_delay_model(node, drive_width).delay(
+            vth=vth, vdd=vdd)
+
+    def delay_spread(sigma_vth: float, n_sigma: float) -> Dict[str, float]:
+        return ddelay.fo4_delay_model(node).delay_spread(
+            sigma_vth, n_sigma=n_sigma)
+
+    def wire_geometry(pitch: float, width_fraction: float,
+                      aspect_ratio: float) -> wire.WireGeometry:
+        return wire.WireGeometry(pitch=pitch,
+                                 width_fraction=width_fraction,
+                                 aspect_ratio=aspect_ratio)
+
+    def uniform_line_delay(length: float, driver_resistance: float,
+                           load_capacitance: float) -> float:
+        tree = elmore.uniform_line(
+            geometry, length, segments=4,
+            driver_resistance=driver_resistance,
+            load_capacitance=load_capacitance)
+        return tree.elmore_delay("seg_sink")
+
+    def node_override(vdd: float, vth: float, tox: float
+                      ) -> TechnologyNode:
+        return node.with_overrides(vdd=vdd, vth=vth, tox=tox)
+
+    def sample_batch(n_dies: Any, width: float) -> Any:
+        sampler = MonteCarloSampler(node, seed=7)
+        return sampler.sample_dies_batch(n_dies, n_devices=2, width=width)
+
+    def variation_spec(vth_inter: float, length_inter_rel: float
+                       ) -> VariationSpec:
+        return VariationSpec(vth_inter=vth_inter,
+                             length_inter_rel=length_inter_rel)
+
+    def yield_batch(limit: float, n_dies: Any) -> float:
+        sampler = MonteCarloSampler(node, seed=11)
+        result = monte_carlo_yield_batch(
+            sampler, lambda batch: batch.vth_global, limit,
+            n_dies=n_dies)
+        return result.yield_fraction
+
+    def intra_sigma(width: float, length: float) -> float:
+        return float(VariationSpec().intra_sigma_vth(node, width, length))
+
+    def electrothermal(frequency: float, activity: float,
+                       rth: float) -> Any:
+        return solve_operating_point(
+            node, n_gates=10_000, frequency=frequency,
+            activity=activity,
+            stack=ThermalStack(rth_junction_to_ambient=rth),
+            max_iterations=8)
+
+    def ler_spread(sigma: float, correlation_length: float,
+                   width: float) -> Dict[str, float]:
+        params = ler.LerParameters(sigma=sigma,
+                                   correlation_length=correlation_length)
+        return ler.current_spread_from_ler(
+            node, params, n_devices=8, width=width, n_points=32, seed=5)
+
+    return [
+        ApiSpec("devices.leakage.subthreshold_current",
+                leakage.subthreshold_current,
+                {"i0": 1e-7, "vth": 0.22, "n": 1.45,
+                 "temperature": 300.0, "vgs": 0.0},
+                ("i0", "vth", "n", "temperature", "vgs")),
+        ApiSpec("devices.leakage.dibl_effective_vth",
+                leakage.dibl_effective_vth,
+                {"vth0": 0.22, "dibl": 0.08, "vds": 1.0},
+                ("vth0", "dibl", "vds")),
+        ApiSpec("devices.leakage.gate_leakage_current",
+                leakage.gate_leakage_current,
+                {"width": 2 * f, "vgb": 1.0, "tox": node.tox,
+                 "k_fit": node.gate_leak_k,
+                 "alpha_fit": node.gate_leak_alpha},
+                ("width", "vgb", "tox", "k_fit", "alpha_fit")),
+        ApiSpec("devices.leakage.device_leakage",
+                lambda **kw: leakage.device_leakage(node, **kw),
+                {"width": 2 * f, "vds": 1.0, "vbs": 0.0,
+                 "vth_offset": 0.0},
+                ("width", "vds", "vbs", "vth_offset")),
+        ApiSpec("devices.leakage.gate_leakage_per_gate",
+                lambda **kw: leakage.gate_leakage_per_gate(node, **kw),
+                {"nmos_width": 2 * f, "pmos_width": 4 * f},
+                ("nmos_width", "pmos_width")),
+        ApiSpec("devices.leakage.leakage_power_density",
+                lambda **kw: leakage.leakage_power_density(node, **kw),
+                {"gates_per_mm2": 1e5},
+                ("gates_per_mm2",)),
+        ApiSpec("devices.mosfet.Mosfet.ids", mosfet_ids,
+                {"width": 2 * f, "vgs": 1.0, "vds": 1.0, "vbs": 0.0},
+                ("width", "vgs", "vds", "vbs")),
+        ApiSpec("devices.mosfet.Mosfet.off_current", mosfet_off_current,
+                {"width": 2 * f, "vds": 1.0},
+                ("width", "vds")),
+        ApiSpec("digital.delay.fo4_delay", fo4_delay,
+                {"drive_width": 2 * f, "vth": 0.22, "vdd": 1.0},
+                ("drive_width", "vth", "vdd")),
+        ApiSpec("digital.delay.delay_spread", delay_spread,
+                {"sigma_vth": 0.015, "n_sigma": 3.0},
+                ("sigma_vth", "n_sigma")),
+        ApiSpec("digital.delay.energy_delay_product",
+                lambda **kw: ddelay.energy_delay_product(node, **kw),
+                {"vdd": 1.0, "vth": 0.22},
+                ("vdd", "vth")),
+        ApiSpec("interconnect.wire.WireGeometry", wire_geometry,
+                {"pitch": 180e-9, "width_fraction": 0.5,
+                 "aspect_ratio": 2.0},
+                ("pitch", "width_fraction", "aspect_ratio")),
+        ApiSpec("interconnect.wire.wire_delay",
+                lambda **kw: wire.wire_delay(geometry, **kw),
+                {"length": 1e-3, "miller_factor": 1.0},
+                ("length", "miller_factor")),
+        ApiSpec("interconnect.wire.wire_energy",
+                lambda **kw: wire.wire_energy(geometry, **kw),
+                {"length": 1e-3, "vdd": 1.0, "activity": 0.5},
+                ("length", "vdd", "activity")),
+        ApiSpec("interconnect.elmore.driver_wire_load_delay",
+                lambda **kw: elmore.driver_wire_load_delay(geometry, **kw),
+                {"length": 1e-3, "driver_resistance": 1e3,
+                 "load_capacitance": 1e-15},
+                ("length", "driver_resistance", "load_capacitance")),
+        ApiSpec("interconnect.elmore.uniform_line", uniform_line_delay,
+                {"length": 1e-3, "driver_resistance": 1e3,
+                 "load_capacitance": 1e-15},
+                ("length", "driver_resistance", "load_capacitance")),
+        ApiSpec("analog.tradeoff.accuracy_from_bits",
+                tradeoff.accuracy_from_bits,
+                {"n_bits": 10.0}, ("n_bits",)),
+        ApiSpec("analog.tradeoff.bits_from_accuracy",
+                tradeoff.bits_from_accuracy,
+                {"accuracy": 1254.0}, ("accuracy",)),
+        ApiSpec("analog.tradeoff.thermal_noise_constant",
+                tradeoff.thermal_noise_constant,
+                {"temperature": 300.0, "efficiency": 0.01},
+                ("temperature", "efficiency")),
+        ApiSpec("analog.tradeoff.mismatch_constant",
+                lambda **kw: tradeoff.mismatch_constant(node, **kw),
+                {"swing_fraction": 0.6, "efficiency": 0.01},
+                ("swing_fraction", "efficiency")),
+        ApiSpec("analog.tradeoff.minimum_power",
+                lambda **kw: tradeoff.minimum_power(node=node, **kw),
+                {"speed": 1e8, "accuracy": 1254.0, "temperature": 300.0},
+                ("speed", "accuracy", "temperature")),
+        ApiSpec("variability.pelgrom.sigma_delta_vth",
+                lambda **kw: pelgrom.sigma_delta_vth(node, **kw),
+                {"width": 10 * f, "length": 2 * f, "distance": 1e-5},
+                ("width", "length", "distance")),
+        ApiSpec("variability.pelgrom.sigma_delta_beta",
+                lambda **kw: pelgrom.sigma_delta_beta(node, **kw),
+                {"width": 10 * f, "length": 2 * f},
+                ("width", "length")),
+        ApiSpec("variability.pelgrom.area_for_matching",
+                lambda **kw: pelgrom.area_for_matching(node, **kw),
+                {"sigma_vth_target": 1e-3},
+                ("sigma_vth_target",)),
+        ApiSpec("variability.pelgrom.offset_sigma_diff_pair",
+                lambda **kw: pelgrom.offset_sigma_diff_pair(node, **kw),
+                {"width": 10 * f, "length": 2 * f, "gm_over_id": 10.0},
+                ("width", "length", "gm_over_id")),
+        ApiSpec("variability.dopants.channel_dopant_count",
+                lambda **kw: dopants.channel_dopant_count(node, **kw),
+                {"width": 2 * f, "length": f},
+                ("width", "length")),
+        ApiSpec("variability.dopants.vth_sigma_from_rdf",
+                lambda **kw: dopants.vth_sigma_from_rdf(node, **kw),
+                {"width": 2 * f, "length": f},
+                ("width", "length")),
+        ApiSpec("variability.ler.current_spread_from_ler", ler_spread,
+                {"sigma": 1.5e-9, "correlation_length": 25e-9,
+                 "width": 130e-9},
+                ("sigma", "correlation_length", "width")),
+        ApiSpec("variability.statistical.VariationSpec", variation_spec,
+                {"vth_inter": 0.015, "length_inter_rel": 0.04},
+                ("vth_inter", "length_inter_rel")),
+        ApiSpec("variability.statistical.intra_sigma_vth", intra_sigma,
+                {"width": 2 * f, "length": f},
+                ("width", "length")),
+        ApiSpec("variability.statistical.sample_dies_batch", sample_batch,
+                {"n_dies": 4, "width": 2 * f},
+                ("n_dies", "width")),
+        ApiSpec("variability.statistical.monte_carlo_yield_batch",
+                yield_batch,
+                {"limit": 0.03, "n_dies": 16},
+                ("limit", "n_dies")),
+        ApiSpec("technology.node.with_overrides", node_override,
+                {"vdd": 1.0, "vth": 0.22, "tox": 1.6e-9},
+                ("vdd", "vth", "tox")),
+        ApiSpec("technology.node.at_temperature",
+                lambda **kw: node.at_temperature(**kw),
+                {"temperature": 358.0}, ("temperature",)),
+        ApiSpec("technology.node.scaled",
+                lambda **kw: node.scaled(**kw),
+                {"s": 1.4}, ("s",)),
+        ApiSpec("technology.node.sigma_vt",
+                lambda **kw: node.sigma_vt(**kw),
+                {"width": 2 * f, "length": f},
+                ("width", "length")),
+        ApiSpec("thermal.electrothermal.solve_operating_point",
+                electrothermal,
+                {"frequency": 1e9, "activity": 0.1, "rth": 1.0},
+                ("frequency", "activity", "rth")),
+    ]

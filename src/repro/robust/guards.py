@@ -1,0 +1,196 @@
+"""Uniform convergence and budget guards for iterative solvers.
+
+Three long-running loop families live in the package: fixed-point
+iterations (electrothermal feedback), stochastic optimizers (AMGIE
+sizing / design centering) and discrete-event searches (the logic
+simulator, the maze router).  Each used to hand-roll its own
+``max_iterations`` bookkeeping and either hang, die mid-sweep, or
+silently return the last iterate.  These guards make the policy
+uniform:
+
+* :class:`IterationGuard` wraps a bounded iteration and records
+  convergence, producing a :class:`ConvergenceReport` that solvers
+  attach to their (possibly partial) result;
+* :class:`SimulationBudget` meters a consumable budget (events,
+  search expansions) and either raises a typed
+  :class:`~repro.robust.errors.SimulationBudgetError` or reports
+  graceful exhaustion, as the caller chooses.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .errors import (ConvergenceError, ConvergenceWarning, ModelDomainError,
+                     SimulationBudgetError)
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Outcome of a guarded iterative loop.
+
+    Attached to solver results so sweeps can aggregate *which* points
+    converged instead of losing the whole run to one bad corner.
+    """
+
+    #: ``residual`` is NaN when the loop never measured one (e.g. an
+    #: early runaway exit); finiteness audits skip it via this marker.
+    __nonfinite_ok__ = ("residual",)
+
+    name: str
+    converged: bool
+    n_iterations: int
+    max_iterations: int
+    residual: float = float("nan")
+    tolerance: float = 0.0
+    message: str = ""
+
+    def __str__(self) -> str:
+        state = "converged" if self.converged else "did NOT converge"
+        text = (f"{self.name}: {state} after {self.n_iterations}/"
+                f"{self.max_iterations} iterations")
+        if self.residual == self.residual:  # not NaN
+            text += f" (residual {self.residual:.3g}"
+            if self.tolerance > 0:
+                text += f", tolerance {self.tolerance:.3g}"
+            text += ")"
+        if self.message:
+            text += f": {self.message}"
+        return text
+
+
+class IterationGuard:
+    """Bounded-iteration guard with convergence bookkeeping.
+
+    Usage::
+
+        guard = IterationGuard(100, tolerance=0.01, name="electrothermal")
+        for _ in guard:
+            new = step(old)
+            if guard.converged(abs(new - old)):
+                break
+            old = new
+        report = guard.report()
+
+    When the loop exhausts its budget without :meth:`converged`
+    returning True, :meth:`report` (and the iterator's natural end)
+    either raises :class:`ConvergenceError` (``raise_on_exhaust``),
+    emits a :class:`ConvergenceWarning` (``warn_on_exhaust``), or just
+    records the failure in the report -- the default, so sweeps keep
+    their partial results.
+    """
+
+    def __init__(self, max_iterations: int, tolerance: float = 0.0,
+                 name: str = "iteration",
+                 raise_on_exhaust: bool = False,
+                 warn_on_exhaust: bool = False):
+        if not isinstance(max_iterations, (int,)) or max_iterations < 1:
+            raise ModelDomainError(
+                f"max_iterations must be a positive integer, "
+                f"got {max_iterations!r}")
+        if not tolerance >= 0.0:   # catches NaN too
+            raise ModelDomainError(
+                f"tolerance must be finite and >= 0, got {tolerance!r}")
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self.name = name
+        self.raise_on_exhaust = raise_on_exhaust
+        self.warn_on_exhaust = warn_on_exhaust
+        self.n_iterations = 0
+        self.residual = float("nan")
+        self._converged = False
+        self._finished = False
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(1, self.max_iterations + 1):
+            self.n_iterations = i
+            yield i
+            if self._converged:
+                return
+        self._on_exhaust()
+
+    def converged(self, residual: float) -> bool:
+        """Record ``residual``; True (and stop) when it meets tolerance.
+
+        A NaN residual never converges -- a diverged iterate must not
+        masquerade as a fixed point.
+        """
+        self.residual = float(residual)
+        if self.residual == self.residual and \
+                abs(self.residual) <= self.tolerance:
+            self._converged = True
+        return self._converged
+
+    @property
+    def is_converged(self) -> bool:
+        """Whether :meth:`converged` has been satisfied."""
+        return self._converged
+
+    def _on_exhaust(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        if self._converged:
+            return
+        report = self.report()
+        if self.raise_on_exhaust:
+            raise ConvergenceError(str(report))
+        if self.warn_on_exhaust:
+            warnings.warn(str(report), ConvergenceWarning, stacklevel=3)
+
+    def report(self, message: str = "") -> ConvergenceReport:
+        """The loop outcome as a structured report."""
+        return ConvergenceReport(
+            name=self.name,
+            converged=self._converged,
+            n_iterations=self.n_iterations,
+            max_iterations=self.max_iterations,
+            residual=self.residual,
+            tolerance=self.tolerance,
+            message=message,
+        )
+
+
+class SimulationBudget:
+    """A consumable work budget (events, node expansions, samples).
+
+    With ``raise_on_exhaust`` (the default) :meth:`spend` raises a
+    typed :class:`SimulationBudgetError` the moment the budget is
+    exceeded; otherwise it returns False and the caller winds down
+    gracefully, reporting partial results.
+    """
+
+    def __init__(self, limit: Optional[int], name: str = "budget",
+                 raise_on_exhaust: bool = True):
+        if limit is not None and limit < 1:
+            raise ModelDomainError(
+                f"{name} limit must be positive or None, got {limit!r}")
+        self.limit = limit
+        self.name = name
+        self.raise_on_exhaust = raise_on_exhaust
+        self.spent = 0
+
+    def spend(self, amount: int = 1) -> bool:
+        """Consume ``amount`` units; False (or raise) once exhausted."""
+        self.spent += amount
+        if self.limit is not None and self.spent > self.limit:
+            if self.raise_on_exhaust:
+                raise SimulationBudgetError(
+                    f"{self.name} exhausted: spent {self.spent} of "
+                    f"{self.limit}")
+            return False
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        """True once more than ``limit`` units have been spent."""
+        return self.limit is not None and self.spent > self.limit
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Units left (None for an unlimited budget)."""
+        if self.limit is None:
+            return None
+        return max(self.limit - self.spent, 0)

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..robust.validate import check_positive
 from ..technology.node import TechnologyNode
 from ..analog.circuits import OtaDesign, OtaPerformance, SingleStageOta
 from ..analog.yield_analysis import OtaYieldAnalyzer
@@ -39,8 +40,7 @@ class GuardBandedOta:
     def __init__(self, node: TechnologyNode, load_capacitance: float,
                  n_sigma: float = 3.0,
                  variation: VariationSpec = VariationSpec()):
-        if n_sigma <= 0:
-            raise ValueError("n_sigma must be positive")
+        check_positive("n_sigma", n_sigma)
         self.node = node
         self.load_capacitance = load_capacitance
         self.n_sigma = n_sigma

@@ -14,6 +14,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..robust.guards import SimulationBudget
+from ..robust.validate import check_count, check_non_negative, check_positive
 from .layout import DesignRules, Layout, Rect
 
 
@@ -25,6 +27,9 @@ class RouteResult:
     n_routed: int
     total_wirelength: float     # m
     n_vias: int
+    #: True when the router stopped early because its search budget
+    #: ran out; the counts above still describe the nets it finished.
+    budget_exhausted: bool = False
 
     @property
     def completion(self) -> float:
@@ -36,7 +41,15 @@ class MazeRouter:
     """Two-layer maze router over a uniform grid."""
 
     def __init__(self, layout: Layout, grid_pitch: Optional[float] = None,
-                 halo: float = 0.0):
+                 halo: float = 0.0,
+                 search_budget: Optional[int] = None):
+        if grid_pitch is not None:
+            check_positive("grid_pitch", grid_pitch)
+        check_non_negative("halo", halo)
+        if search_budget is not None:
+            search_budget = check_count("search_budget", search_budget)
+        self.search_budget = search_budget
+        self._budget: Optional[SimulationBudget] = None
         self.layout = layout
         rules = layout.rules
         self.pitch = (grid_pitch if grid_pitch is not None
@@ -108,7 +121,10 @@ class MazeRouter:
         parent: Dict[Tuple[int, int], Tuple[int, int]] = {start: start}
         counter = 0
         queue = [(0.0, counter, start)]
+        budget = self._budget
         while queue:
+            if budget is not None and not budget.spend():
+                return None  # search budget exhausted: give up this net
             cost, _, current = heapq.heappop(queue)
             if current in targets:
                 path = [current]
@@ -150,13 +166,25 @@ class MazeRouter:
         return paths
 
     def route(self) -> RouteResult:
-        """Route every net in the layout; adds wire rects to it."""
+        """Route every net in the layout; adds wire rects to it.
+
+        With a ``search_budget`` the router stops expanding once the
+        total number of heap pops across all nets exceeds it; nets
+        routed before exhaustion are kept and the result is flagged
+        ``budget_exhausted`` -- a partial answer, never a hang.
+        """
         rules = self.layout.rules
+        self._budget = (SimulationBudget(
+            self.search_budget, name="router search budget",
+            raise_on_exhaust=False)
+            if self.search_budget is not None else None)
         n_routed = 0
         wirelength = 0.0
         n_vias = 0
         n_nets = 0
         for net, terminals in self.layout.nets.items():
+            if self._budget is not None and self._budget.exhausted:
+                break
             points = [self.layout.placements[inst].pin_position(pin)
                       for inst, pin in terminals
                       if inst in self.layout.placements]
@@ -198,10 +226,13 @@ class MazeRouter:
             n_routed=n_routed,
             total_wirelength=wirelength,
             n_vias=n_vias,
+            budget_exhausted=(self._budget is not None
+                              and self._budget.exhausted),
         )
 
 
-def route_layout(layout: Layout, grid_pitch: Optional[float] = None
-                 ) -> RouteResult:
+def route_layout(layout: Layout, grid_pitch: Optional[float] = None,
+                 search_budget: Optional[int] = None) -> RouteResult:
     """One-call routing of a placed layout."""
-    return MazeRouter(layout, grid_pitch=grid_pitch).route()
+    return MazeRouter(layout, grid_pitch=grid_pitch,
+                      search_budget=search_budget).route()

@@ -17,6 +17,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy.optimize import differential_evolution
 
+from ..robust.errors import ModelDomainError, ReproError
+from ..robust.guards import ConvergenceReport
+from ..robust.validate import check_count
 from ..technology.node import TechnologyNode
 from ..analog.circuits import (DetectorFrontend, DetectorFrontendDesign,
                                FrontendPerformance, OtaDesign,
@@ -33,8 +36,9 @@ class Variable:
     log_scale: bool = True
 
     def __post_init__(self) -> None:
-        if self.low <= 0 or self.high <= self.low:
-            raise ValueError(
+        if not (math.isfinite(self.low) and math.isfinite(self.high)) \
+                or self.low <= 0 or self.high <= self.low:
+            raise ModelDomainError(
                 f"bad bounds for {self.name}: ({self.low}, {self.high})")
 
     def decode(self, unit: float) -> float:
@@ -54,6 +58,8 @@ class SynthesisResult:
     cost: float
     n_evaluations: int
     feasible: bool
+    #: Optimizer convergence diagnostics (None for hand-built results).
+    report: Optional[ConvergenceReport] = None
 
 
 @dataclass
@@ -109,7 +115,7 @@ class CircuitSynthesizer:
                  evaluate: Callable[[Dict[str, float]], object],
                  spec: Specification):
         if not variables:
-            raise ValueError("need at least one design variable")
+            raise ModelDomainError("need at least one design variable")
         self.variables = list(variables)
         self.evaluate = evaluate
         self.spec = spec
@@ -124,17 +130,24 @@ class CircuitSynthesizer:
         values = self._decode(x)
         try:
             performance = self.evaluate(values)
-        except ValueError:
+        except (ReproError, ValueError):
             return 1e12
         penalty = self.spec.penalty(performance)
         objective = getattr(performance, self.spec.objective)
-        # Normalize the objective so penalties always dominate.
-        return objective + self.PENALTY_WEIGHT * penalty \
+        cost = objective + self.PENALTY_WEIGHT * penalty \
             * (abs(objective) + 1e-12)
+        # A NaN/inf cost would poison differential evolution's ranking;
+        # treat the candidate like an infeasible geometry instead.
+        if not math.isfinite(cost):
+            return 1e12
+        # Normalize the objective so penalties always dominate.
+        return cost
 
     def run(self, seed: Optional[int] = None, maxiter: int = 60,
             popsize: int = 20) -> SynthesisResult:
         """Run differential evolution; returns the best design."""
+        maxiter = check_count("maxiter", maxiter)
+        popsize = check_count("popsize", popsize, minimum=4)
         self._n_evaluations = 0
         bounds = [(0.0, 1.0)] * len(self.variables)
         result = differential_evolution(
@@ -142,12 +155,21 @@ class CircuitSynthesizer:
             popsize=popsize, tol=1e-8, polish=False, init="sobol")
         values = self._decode(result.x)
         performance = self.evaluate(values)
+        report = ConvergenceReport(
+            name="differential evolution",
+            converged=bool(result.success),
+            n_iterations=int(getattr(result, "nit", 0)),
+            max_iterations=maxiter,
+            residual=float(result.fun),
+            message=str(getattr(result, "message", "")),
+        )
         return SynthesisResult(
             values=values,
             performance=performance,
             cost=float(result.fun),
             n_evaluations=self._n_evaluations,
             feasible=self.spec.is_feasible(performance),
+            report=report,
         )
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..perf.cache import memoized
+from ..robust.errors import RoadmapDataError
 from .node import TechnologyNode
 
 # Each tuple: (feature nm, VDD V, VT V, tox nm, M1 pitch nm, N_A 1/m^3,
@@ -110,7 +111,7 @@ def get_node(name: str) -> TechnologyNode:
     try:
         return _LIBRARY[key]
     except KeyError:
-        raise KeyError(
+        raise RoadmapDataError(
             f"unknown technology node {name!r}; "
             f"available: {', '.join(_LIBRARY)}") from None
 

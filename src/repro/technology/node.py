@@ -19,10 +19,13 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import warnings
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, Optional
 
+from ..robust.errors import ModelDomainError, ModelDomainWarning
+from ..robust.validate import check_finite, check_positive
 from ..core.constants import (
     EPSILON_0,
     EPSILON_SI,
@@ -123,14 +126,37 @@ class TechnologyNode:
     #: dV_T/dT [V/K]; V_T drops as the die heats, compounding leakage.
     vth_temp_coefficient: float = -1.0e-3
 
+    #: Junction temperatures [K] the trend tables are calibrated for;
+    #: :meth:`at_temperature` warns (ModelDomainWarning) outside it.
+    CALIBRATED_TEMPERATURE_RANGE = (150.0, 600.0)
+
+    #: Numeric fields that must be strictly positive and finite.
+    _POSITIVE_FIELDS = ("feature_size", "vdd", "vth", "tox", "wire_pitch",
+                        "channel_doping", "subthreshold_n", "avt", "abeta",
+                        "mobility_n", "mobility_p", "vsat", "alpha_power",
+                        "dielectric_k", "conductor_resistivity",
+                        "temperature")
+    #: Numeric fields that only need to be finite.
+    _FINITE_FIELDS = ("dibl", "body_factor", "gate_leak_k",
+                      "gate_leak_alpha", "i0_per_width", "junction_depth",
+                      "vth_temp_coefficient")
+
     def __post_init__(self) -> None:
-        for attr in ("feature_size", "vdd", "vth", "tox", "wire_pitch",
-                     "channel_doping", "subthreshold_n"):
+        for attr in self._POSITIVE_FIELDS:
             value = getattr(self, attr)
-            if value <= 0:
-                raise ValueError(f"{attr} must be positive, got {value}")
+            if not isinstance(value, (int, float)) \
+                    or not math.isfinite(value) or value <= 0:
+                raise ModelDomainError(
+                    f"{attr} must be a positive finite number, "
+                    f"got {value!r}")
+        for attr in self._FINITE_FIELDS:
+            value = getattr(self, attr)
+            if not isinstance(value, (int, float)) \
+                    or not math.isfinite(value):
+                raise ModelDomainError(
+                    f"{attr} must be finite, got {value!r}")
         if self.vth >= self.vdd:
-            raise ValueError(
+            raise ModelDomainError(
                 f"vth ({self.vth} V) must be below vdd ({self.vdd} V)")
         if self.junction_depth == 0.0:
             # Junction depth historically tracks ~L/3.
@@ -184,8 +210,8 @@ class TechnologyNode:
         """
         if length is None:
             length = self.feature_size
-        if width <= 0 or length <= 0:
-            raise ValueError("device dimensions must be positive")
+        check_positive("width", width)
+        check_positive("length", length)
         return self.avt / math.sqrt(width * length)
 
     # --- derivation helpers ------------------------------------------------
@@ -203,8 +229,15 @@ class TechnologyNode:
         which is where the paper's leakage-power problem actually
         bites (section 2.1 at operating temperature).
         """
-        if temperature <= 0:
-            raise ValueError("temperature must be positive")
+        check_positive("temperature", temperature)
+        if not self.CALIBRATED_TEMPERATURE_RANGE[0] <= temperature \
+                <= self.CALIBRATED_TEMPERATURE_RANGE[1]:
+            lo, hi = self.CALIBRATED_TEMPERATURE_RANGE
+            warnings.warn(
+                f"temperature {temperature:g} K is outside the "
+                f"calibrated range [{lo:g}, {hi:g}] K; the V_T and "
+                f"mobility extrapolations are unvalidated there",
+                ModelDomainWarning, stacklevel=2)
         delta_t = temperature - self.temperature
         mobility_factor = (temperature / self.temperature) ** -1.5
         # The linear dV_T/dT flattens near zero threshold; clamp so a
@@ -230,8 +263,7 @@ class TechnologyNode:
         multiplies by ``s``.  With ``full_scaling=False`` the voltages
         are kept (constant-voltage scaling).
         """
-        if s <= 0:
-            raise ValueError(f"scale factor must be positive, got {s}")
+        check_positive("s", s)
         voltage_div = s if full_scaling else 1.0
         return dataclasses.replace(
             self,
@@ -261,7 +293,7 @@ class TechnologyNode:
         field_names = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - field_names
         if unknown:
-            raise ValueError(
+            raise ModelDomainError(
                 f"unknown node parameters: {sorted(unknown)}")
         return cls(**data)
 

@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..robust.guards import ConvergenceReport, IterationGuard
+from ..robust.validate import check_count, check_positive, validated
 from ..technology.node import TechnologyNode
 from ..digital.energy import analytic_power_estimate
 from .mesh import ThermalStack
@@ -35,6 +37,8 @@ class ElectrothermalResult:
     leakage_power: float           # W at the final temperature
     leakage_power_cold: float      # W at ambient (no feedback)
     n_iterations: int
+    #: Structured convergence diagnostics (None for hand-built results).
+    report: Optional[ConvergenceReport] = None
 
     @property
     def total_power(self) -> float:
@@ -49,6 +53,8 @@ class ElectrothermalResult:
         return self.leakage_power / self.leakage_power_cold
 
 
+@validated(frequency="positive", activity=(0.0, 1.0),
+           tolerance="positive", runaway_temperature="positive")
 def solve_operating_point(node: TechnologyNode,
                           n_gates: int = 1_000_000,
                           frequency: float = 1e9,
@@ -63,51 +69,51 @@ def solve_operating_point(node: TechnologyNode,
     Fixed-point iteration: T -> leakage(T) -> power -> T' through the
     package resistance.  Declares *runaway* when the iterate exceeds
     ``runaway_temperature`` or fails to converge while still rising.
+    Never raises on non-convergence: the last iterate is returned with
+    ``converged=False`` and a :class:`ConvergenceReport` attached, so
+    technology sweeps keep their partial results.
     """
-    if max_iterations < 1:
-        raise ValueError("max_iterations must be positive")
+    n_gates = check_count("n_gates", n_gates)
+    max_iterations = check_count("max_iterations", max_iterations)
     cold = analytic_power_estimate(
         node.at_temperature(stack.ambient), n_gates, frequency,
         activity)
     dynamic = cold.dynamic + cold.short_circuit
     leak_cold = cold.leakage
 
+    guard = IterationGuard(max_iterations, tolerance=tolerance,
+                           name="electrothermal fixed point")
     temperature = stack.ambient
     leakage = leak_cold
-    for iteration in range(1, max_iterations + 1):
+    runaway = False
+    for _ in guard:
         total = dynamic + leakage
         new_temperature = stack.ambient \
             + stack.rth_junction_to_ambient * total
         if new_temperature > runaway_temperature:
-            return ElectrothermalResult(
-                converged=False, runaway=True,
-                junction_temperature=new_temperature,
-                dynamic_power=dynamic,
-                leakage_power=leakage,
-                leakage_power_cold=leak_cold,
-                n_iterations=iteration)
+            temperature = new_temperature
+            runaway = True
+            break
         hot_node = node.at_temperature(new_temperature)
         leakage = analytic_power_estimate(
             hot_node, n_gates, frequency, activity).leakage
-        if abs(new_temperature - temperature) < tolerance:
-            return ElectrothermalResult(
-                converged=True, runaway=False,
-                junction_temperature=new_temperature,
-                dynamic_power=dynamic,
-                leakage_power=leakage,
-                leakage_power_cold=leak_cold,
-                n_iterations=iteration)
+        if guard.converged(abs(new_temperature - temperature)):
+            temperature = new_temperature
+            break
         temperature = new_temperature
-    # Did not converge: rising iterates mean runaway, oscillation is
-    # reported as non-converged.
+    if not guard.is_converged and not runaway:
+        # Exhausted without converging: rising iterates mean runaway,
+        # oscillation is reported as plain non-convergence.
+        runaway = temperature > 0.9 * runaway_temperature
+    message = "thermal runaway" if runaway else ""
     return ElectrothermalResult(
-        converged=False,
-        runaway=temperature > 0.9 * runaway_temperature,
+        converged=guard.is_converged, runaway=runaway,
         junction_temperature=temperature,
         dynamic_power=dynamic,
         leakage_power=leakage,
         leakage_power_cold=leak_cold,
-        n_iterations=max_iterations)
+        n_iterations=guard.n_iterations,
+        report=guard.report(message))
 
 
 def runaway_rth_threshold(node: TechnologyNode,

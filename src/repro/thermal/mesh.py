@@ -21,6 +21,8 @@ import numpy as np
 from scipy import sparse
 from scipy.sparse.linalg import factorized
 
+from ..robust.validate import check_positive
+
 #: Thermal conductivity of silicon [W/(m*K)].
 K_SILICON = 130.0
 
@@ -45,10 +47,10 @@ class ThermalStack:
     ambient: float = 318.0     # 45 C in-system ambient
 
     def __post_init__(self) -> None:
-        if self.die_thickness <= 0 or self.rth_junction_to_ambient <= 0:
-            raise ValueError("stack parameters must be positive")
-        if self.ambient <= 0:
-            raise ValueError("ambient must be positive kelvin")
+        check_positive("die_thickness", self.die_thickness)
+        check_positive("rth_junction_to_ambient",
+                       self.rth_junction_to_ambient)
+        check_positive("ambient", self.ambient)
 
 
 class ThermalMesh:

@@ -17,9 +17,11 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.constants import (ELECTRON_CHARGE, EPSILON_0, EPSILON_SI)
+from ..robust.validate import check_count, validated
 from ..technology.node import TechnologyNode
 
 
+@validated(_result_finite=True, width="positive", length="positive")
 def channel_dopant_count(node: TechnologyNode,
                          width: Optional[float] = None,
                          length: Optional[float] = None) -> float:
@@ -32,18 +34,16 @@ def channel_dopant_count(node: TechnologyNode,
     """
     length = length if length is not None else node.feature_size
     width = width if width is not None else 2.0 * length
-    if width <= 0 or length <= 0:
-        raise ValueError("device dimensions must be positive")
     return node.channel_doping * width * length * node.depletion_depth
 
 
+@validated(_result_finite=True, mean_count="non-negative")
 def dopant_count_sigma(mean_count: float) -> float:
     """Poisson statistics: sigma_N = sqrt(N) (section 2.4)."""
-    if mean_count < 0:
-        raise ValueError("mean_count must be non-negative")
     return math.sqrt(mean_count)
 
 
+@validated(_result_finite=True, width="positive", length="positive")
 def vth_sigma_from_rdf(node: TechnologyNode,
                        width: Optional[float] = None,
                        length: Optional[float] = None) -> float:
@@ -173,8 +173,7 @@ class DopantPlacementModel:
         batch 10-100x faster than the scalar loop; the distributions
         of the returned quantities are identical.
         """
-        if n_devices < 1:
-            raise ValueError("n_devices must be positive")
+        n_devices = check_count("n_devices", n_devices)
         length = length if length is not None else self.node.feature_size
         width = width if width is not None else 2.0 * length
         mean_count = channel_dopant_count(self.node, width, length)
@@ -197,8 +196,7 @@ class DopantPlacementModel:
                                     length: Optional[float] = None
                                     ) -> Dict[str, float]:
         """MC statistics of L_eff across ``n_devices`` devices."""
-        if n_devices < 2:
-            raise ValueError("need at least two devices for statistics")
+        n_devices = check_count("n_devices", n_devices, minimum=2)
         samples = self.sample_batch(n_devices, width,
                                     length)["effective_length"]
         nominal = length if length is not None else self.node.feature_size

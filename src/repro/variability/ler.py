@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..robust.validate import check_count, check_positive, validated
 from ..technology.node import TechnologyNode
 
 
@@ -34,8 +35,8 @@ class LerParameters:
     correlation_length: float = 25e-9
 
     def __post_init__(self) -> None:
-        if self.sigma <= 0 or self.correlation_length <= 0:
-            raise ValueError("LER parameters must be positive")
+        check_positive("sigma", self.sigma)
+        check_positive("correlation_length", self.correlation_length)
 
 
 def generate_edge(params: LerParameters, width: float, n_points: int = 256,
@@ -45,16 +46,18 @@ def generate_edge(params: LerParameters, width: float, n_points: int = 256,
     Returns the edge deviation [m] at ``n_points`` positions, with a
     Gaussian autocorrelation imposed by filtering white noise.
     """
-    if width <= 0:
-        raise ValueError("width must be positive")
-    if n_points < 8:
-        raise ValueError("n_points must be at least 8")
+    check_positive("width", width)
+    n_points = check_count("n_points", n_points, minimum=8)
     rng = rng or np.random.default_rng()
     positions = np.linspace(0.0, width, n_points)
     spacing = positions[1] - positions[0]
     white = rng.standard_normal(n_points)
     # Gaussian smoothing kernel with the requested correlation length.
-    kernel_half = max(int(3 * params.correlation_length / spacing), 1)
+    # Capped at n_points: beyond the gate width the kernel is flat, and
+    # an uncapped extreme correlation length would allocate an
+    # astronomically large kernel array.
+    kernel_half = min(max(int(3 * params.correlation_length / spacing), 1),
+                      n_points)
     offsets = np.arange(-kernel_half, kernel_half + 1) * spacing
     kernel = np.exp(-0.5 * (offsets / params.correlation_length) ** 2)
     kernel /= math.sqrt(np.sum(kernel ** 2))
@@ -73,6 +76,7 @@ def effective_length_profile(params: LerParameters, length: float,
     return length + right - left
 
 
+@validated(_result_finite=True, width="positive")
 def current_spread_from_ler(node: TechnologyNode,
                             params: LerParameters = LerParameters(),
                             n_devices: int = 200,
@@ -85,6 +89,7 @@ def current_spread_from_ler(node: TechnologyNode,
     inversely proportional to its local length (linear-region limit),
     giving I ~ mean(1/L_local).
     """
+    n_devices = check_count("n_devices", n_devices, minimum=2)
     rng = np.random.default_rng(seed)
     width = width if width is not None else 2.0 * node.feature_size
     length = node.feature_size

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..robust.validate import check_count, check_range, validated
 from ..technology.node import TechnologyNode
 
 
@@ -30,6 +31,9 @@ class MismatchSample:
     delta_beta_rel: float  # relative current-factor error
 
 
+@validated(_result_finite=True, width="positive", length="positive",
+           distance="non-negative",
+           distance_coefficient="non-negative")
 def sigma_delta_vth(node: TechnologyNode, width: float, length: float,
                     distance: float = 0.0,
                     distance_coefficient: float = 1e-6) -> float:
@@ -38,21 +42,19 @@ def sigma_delta_vth(node: TechnologyNode, width: float, length: float,
     ``distance_coefficient`` [V/m] adds the long-range gradient term:
     sigma^2 = (A_VT^2)/(W*L) + (S_VT * D)^2.
     """
-    if width <= 0 or length <= 0:
-        raise ValueError("device dimensions must be positive")
     area_term = node.avt ** 2 / (width * length)
     dist_term = (distance_coefficient * distance) ** 2
     return math.sqrt(area_term + dist_term)
 
 
+@validated(_result_finite=True, width="positive", length="positive")
 def sigma_delta_beta(node: TechnologyNode, width: float,
                      length: float) -> float:
     """Pelgrom sigma of the relative current-factor difference."""
-    if width <= 0 or length <= 0:
-        raise ValueError("device dimensions must be positive")
     return node.abeta / math.sqrt(width * length)
 
 
+@validated(_result_finite=True, sigma_vth_target="positive")
 def area_for_matching(node: TechnologyNode, sigma_vth_target: float) -> float:
     """Gate area W*L [m^2] needed to reach a target sigma_VT.
 
@@ -60,8 +62,6 @@ def area_for_matching(node: TechnologyNode, sigma_vth_target: float) -> float:
     accuracy requirements, not the technology, set analog device area,
     so analog blocks do not shrink with scaling.
     """
-    if sigma_vth_target <= 0:
-        raise ValueError("sigma_vth_target must be positive")
     return (node.avt / sigma_vth_target) ** 2
 
 
@@ -92,8 +92,7 @@ class MismatchSampler:
     def __init__(self, node: TechnologyNode, width: float, length: float,
                  correlation: float = 0.0,
                  seed: Optional[int] = None):
-        if not -1.0 <= correlation <= 1.0:
-            raise ValueError("correlation must be in [-1, 1]")
+        check_range("correlation", correlation, -1.0, 1.0)
         self.node = node
         self.width = width
         self.length = length
@@ -112,14 +111,15 @@ class MismatchSampler:
 
     def sample_many(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
         """Draw ``count`` samples; returns (delta_vth, delta_beta)."""
-        if count < 1:
-            raise ValueError("count must be positive")
+        count = check_count("count", count)
         z = self.rng.standard_normal((2, count))
         z[1] = self.correlation * z[0] + math.sqrt(
             1 - self.correlation ** 2) * z[1]
         return self._sigma_vth * z[0], self._sigma_beta * z[1]
 
 
+@validated(_result_finite=True, width="positive", length="positive",
+           gm_over_id="positive")
 def offset_sigma_diff_pair(node: TechnologyNode, width: float,
                            length: float, gm_over_id: float = 10.0,
                            include_beta: bool = True) -> float:

@@ -32,6 +32,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from ..perf.profile import timed
+from ..robust.errors import ModelDomainError
+from ..robust.validate import (check_count, check_finite,
+                               check_non_negative, check_positive)
 from ..technology.node import TechnologyNode
 
 ArrayLike = Union[float, np.ndarray]
@@ -53,6 +56,11 @@ class VariationSpec:
     length_intra_rel: float = 0.02
     tox_inter_rel: float = 0.02
 
+    def __post_init__(self) -> None:
+        for name in ("vth_inter", "vth_intra", "length_inter_rel",
+                     "length_intra_rel", "tox_inter_rel"):
+            check_non_negative(name, getattr(self, name))
+
     def intra_sigma_vth(self, node: TechnologyNode, width: ArrayLike,
                         length: ArrayLike) -> ArrayLike:
         """Intra-die sigma_VT for a W x L device [V].
@@ -60,11 +68,11 @@ class VariationSpec:
         Accepts scalars or (broadcastable) arrays of widths/lengths;
         the Pelgrom de-rating is applied elementwise.
         """
+        check_positive("width", width)
+        check_positive("length", length)
         width = np.asarray(width, dtype=float)
         length = np.asarray(length, dtype=float)
         area = width * length
-        if np.any(area <= 0):
-            raise ValueError("device area must be positive")
         if self.vth_intra > 0:
             min_area = node.feature_size ** 2 * 2.0
             out = self.vth_intra * np.sqrt(min_area / area)
@@ -206,8 +214,7 @@ class MonteCarloSampler:
 
     def sample_dies(self, count: int) -> List[SampledDie]:
         """Draw ``count`` dies."""
-        if count < 1:
-            raise ValueError("count must be positive")
+        count = check_count("count", count)
         return [self.sample_die() for _ in range(count)]
 
     @timed("variability.sample_dies_batch")
@@ -229,12 +236,11 @@ class MonteCarloSampler:
         (vth, length, tox) per-die order, and device draws come from
         the per-die spawned child in (vth, length) per-device order.
         """
-        if n_dies < 1:
-            raise ValueError("n_dies must be positive")
-        if n_devices < 0:
-            raise ValueError("n_devices must be non-negative")
+        n_dies = check_count("n_dies", n_dies)
+        n_devices = check_count("n_devices", n_devices, minimum=0)
         if n_devices > 0 and width is None:
-            raise ValueError("width is required when sampling devices")
+            raise ModelDomainError(
+                "width is required when sampling devices")
         # One spawn per die, exactly as sample_die() would.  Spawning
         # advances only the SeedSequence child counter, never the
         # parent bit stream, so when no devices are requested it is
@@ -300,8 +306,8 @@ def monte_carlo_yield(sampler: MonteCarloSampler,
     critical-path delay); a die passes when the metric is on the good
     side of ``limit``.
     """
-    if n_dies < 1:
-        raise ValueError("n_dies must be positive")
+    n_dies = check_count("n_dies", n_dies)
+    check_finite("limit", limit)
     n_pass = 0
     for _ in range(n_dies):
         value = metric(sampler.sample_die())
@@ -323,8 +329,8 @@ def monte_carlo_yield_batch(sampler: MonteCarloSampler,
     seed the sampled shifts are bit-for-bit those of the scalar path,
     so a vectorized metric gives the identical pass/fail vector.
     """
-    if n_dies < 1:
-        raise ValueError("n_dies must be positive")
+    n_dies = check_count("n_dies", n_dies)
+    check_finite("limit", limit)
     batch = sampler.sample_dies_batch(n_dies)
     values = np.asarray(metric(batch), dtype=float)
     if values.shape != (n_dies,):

@@ -1,0 +1,61 @@
+"""Satellite (c): batched Monte Carlo entry points validate inputs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.robust import ModelDomainError
+from repro.technology import get_node
+from repro.variability.statistical import (MonteCarloSampler,
+                                           VariationSpec,
+                                           monte_carlo_yield_batch)
+
+
+@pytest.fixture(scope="module")
+def sampler():
+    return MonteCarloSampler(get_node("65nm"), seed=123)
+
+
+class TestSampleDiesBatch:
+    def test_rejects_zero_and_negative_n_dies(self, sampler):
+        for bad in (0, -1, 2.5, float("nan")):
+            with pytest.raises(ModelDomainError, match="n_dies"):
+                sampler.sample_dies_batch(bad, n_devices=2,
+                                          width=130e-9)
+
+    def test_valid_run_regression(self, sampler):
+        batch = sampler.sample_dies_batch(8, n_devices=3, width=130e-9)
+        assert batch.vth_global.shape == (8,)
+        assert np.all(np.isfinite(batch.vth_global))
+
+
+class TestVariationSpecValidation:
+    def test_nan_sigma_rejected(self):
+        with pytest.raises(ModelDomainError, match="vth_inter"):
+            VariationSpec(vth_inter=float("nan"))
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ModelDomainError):
+            VariationSpec(length_inter_rel=-0.01)
+
+
+class TestMonteCarloYieldBatch:
+    def test_rejects_bad_n_dies(self, sampler):
+        with pytest.raises(ModelDomainError, match="n_dies"):
+            monte_carlo_yield_batch(sampler,
+                                    lambda batch: batch.vth_global,
+                                    limit=0.05, n_dies=0)
+
+    def test_rejects_nan_limit(self, sampler):
+        with pytest.raises(ModelDomainError, match="limit"):
+            monte_carlo_yield_batch(sampler,
+                                    lambda batch: batch.vth_global,
+                                    limit=float("nan"), n_dies=16)
+
+    def test_valid_run_regression(self, sampler):
+        result = monte_carlo_yield_batch(sampler,
+                                         lambda batch: batch.vth_global,
+                                         limit=0.05, n_dies=32)
+        assert 0.0 <= result.yield_fraction <= 1.0
+        assert math.isfinite(result.yield_fraction)

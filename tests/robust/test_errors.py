@@ -1,0 +1,72 @@
+"""The typed exception taxonomy and its backward-compat contracts."""
+
+import pytest
+
+from repro.robust import (CalibrationError, ConvergenceError,
+                          ConvergenceWarning, ModelDomainError,
+                          ModelDomainWarning, ReproError, ReproWarning,
+                          RoadmapDataError, SimulationBudgetError)
+
+
+class TestHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (ModelDomainError, ConvergenceError, RoadmapDataError,
+                    SimulationBudgetError, CalibrationError):
+            assert issubclass(exc, ReproError)
+
+    def test_model_domain_error_is_value_error(self):
+        # Callers that predate the taxonomy catch ValueError.
+        assert issubclass(ModelDomainError, ValueError)
+        with pytest.raises(ValueError):
+            raise ModelDomainError("bad input")
+
+    def test_roadmap_data_error_is_key_error(self):
+        assert issubclass(RoadmapDataError, KeyError)
+        with pytest.raises(KeyError):
+            raise RoadmapDataError("unknown node")
+
+    def test_roadmap_data_error_message_is_not_quoted(self):
+        # Plain KeyError str() wraps the message in quotes; the typed
+        # version must print cleanly for CLI one-liners.
+        error = RoadmapDataError("unknown node '7nm'")
+        assert str(error) == "unknown node '7nm'"
+
+    def test_convergence_and_budget_errors_are_runtime_errors(self):
+        assert issubclass(ConvergenceError, RuntimeError)
+        assert issubclass(SimulationBudgetError, RuntimeError)
+        assert issubclass(CalibrationError, RuntimeError)
+
+    def test_single_except_catches_everything(self):
+        for exc in (ModelDomainError, ConvergenceError, RoadmapDataError,
+                    SimulationBudgetError, CalibrationError):
+            try:
+                raise exc("boom")
+            except ReproError as caught:
+                assert "boom" in str(caught)
+
+    def test_warning_taxonomy(self):
+        assert issubclass(ReproWarning, UserWarning)
+        assert issubclass(ModelDomainWarning, ReproWarning)
+        assert issubclass(ConvergenceWarning, ReproWarning)
+        # Deliberately NOT RuntimeWarning: CI escalates RuntimeWarning
+        # to catch numpy NaN leaks without tripping on model warnings.
+        assert not issubclass(ReproWarning, RuntimeWarning)
+
+
+class TestTypedRaisesInPackage:
+    def test_unknown_node_is_roadmap_data_error(self):
+        from repro.technology import get_node
+        with pytest.raises(RoadmapDataError, match="available"):
+            get_node("7nm")
+        with pytest.raises(KeyError):   # legacy contract
+            get_node("7nm")
+
+    def test_adc_correction_before_calibrate_is_typed(self):
+        import numpy as np
+        from repro.analog.adc_behavioral import PipelineAdc
+        from repro.technology import get_node
+        adc = PipelineAdc(get_node("65nm"), n_stages=5, seed=1)
+        with pytest.raises(CalibrationError, match="calibrate"):
+            adc.corrected_output(np.array([0.0]))
+        with pytest.raises(RuntimeError):   # legacy contract
+            adc.corrected_output(np.array([0.0]))

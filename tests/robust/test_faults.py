@@ -1,0 +1,84 @@
+"""The tier-1 fault-injection sweep over the public model APIs."""
+
+import numpy as np
+
+from repro.robust import ModelDomainError
+from repro.robust.faults import (PERTURBATIONS, ApiSpec, FaultOutcome,
+                                 default_registry, run_fault_sweep)
+
+
+class TestRegistry:
+    def test_covers_at_least_25_apis(self):
+        assert len(default_registry()) >= 25
+
+    def test_names_are_unique(self):
+        names = [spec.name for spec in default_registry()]
+        assert len(names) == len(set(names))
+
+
+class TestSweep:
+    def test_no_contract_violations(self):
+        """The headline assertion: every public API either returns
+        finite values or raises a typed ReproError under NaN/inf/zero/
+        negative/extreme inputs."""
+        report = run_fault_sweep()
+        assert report.n_apis >= 25
+        assert report.passed, "\n" + report.summary()
+
+    def test_sweep_is_deterministic(self):
+        first = run_fault_sweep()
+        second = run_fault_sweep()
+        assert [(o.api, o.param, o.value, o.status)
+                for o in first.outcomes] == \
+               [(o.api, o.param, o.value, o.status)
+                for o in second.outcomes]
+
+    def test_perturbation_set_probes_all_classes(self):
+        values = list(PERTURBATIONS)
+        assert any(v != v for v in values)                 # NaN
+        assert float("inf") in values and float("-inf") in values
+        assert 0.0 in values and any(v < 0 for v in values)
+        assert any(abs(v) > 1e20 for v in values)          # extreme
+
+
+class TestHarnessMechanics:
+    def test_nan_escape_is_flagged(self):
+        spec = ApiSpec("leaky", lambda x: x * 2.0, {"x": 1.0}, ("x",))
+        report = run_fault_sweep([spec])
+        escapes = [o for o in report.outcomes if o.status == "nan-escape"]
+        assert escapes, "NaN passthrough must be caught"
+        assert not report.passed
+
+    def test_untyped_crash_is_flagged(self):
+        def brittle(x):
+            return 1.0 / x
+
+        report = run_fault_sweep(
+            [ApiSpec("brittle", brittle, {"x": 1.0}, ("x",))])
+        crashes = [o for o in report.outcomes if o.status == "crash"]
+        assert any("ZeroDivisionError" in o.detail for o in crashes)
+
+    def test_typed_error_passes(self):
+        def guarded(x):
+            if not np.isfinite(x) or x <= 0:
+                raise ModelDomainError("x out of domain")
+            return x
+
+        report = run_fault_sweep(
+            [ApiSpec("guarded", guarded, {"x": 1.0}, ("x",))])
+        assert report.passed
+
+    def test_broken_baseline_is_a_failure(self):
+        def needs_two(x):
+            raise ModelDomainError("always")
+
+        report = run_fault_sweep(
+            [ApiSpec("broken", needs_two, {"x": 1.0}, ("x",))])
+        assert not report.passed
+        assert report.outcomes[0].param == "<baseline>"
+
+    def test_outcome_ok_property(self):
+        assert FaultOutcome("a", "p", "0", "finite").ok
+        assert FaultOutcome("a", "p", "0", "typed-error").ok
+        assert not FaultOutcome("a", "p", "0", "nan-escape").ok
+        assert not FaultOutcome("a", "p", "0", "crash").ok

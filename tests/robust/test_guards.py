@@ -1,0 +1,91 @@
+"""IterationGuard / SimulationBudget semantics."""
+
+import pytest
+
+from repro.robust import (ConvergenceError, ConvergenceWarning,
+                          IterationGuard, ModelDomainError,
+                          SimulationBudget, SimulationBudgetError)
+
+
+class TestIterationGuard:
+    def test_converging_loop_stops_early(self):
+        guard = IterationGuard(100, tolerance=1e-3, name="fp")
+        value = 1.0
+        for _ in guard:
+            new = 0.5 * value
+            if guard.converged(abs(new - value)):
+                break
+            value = new
+        assert guard.is_converged
+        report = guard.report()
+        assert report.converged
+        assert report.n_iterations < 100
+        assert report.residual <= 1e-3
+        assert "converged" in str(report)
+
+    def test_exhaustion_records_failure_by_default(self):
+        guard = IterationGuard(5, tolerance=0.0, name="fp")
+        for _ in guard:
+            guard.converged(1.0)
+        report = guard.report("stalled")
+        assert not report.converged
+        assert report.n_iterations == 5
+        assert "did NOT converge" in str(report)
+        assert "stalled" in str(report)
+
+    def test_raise_on_exhaust(self):
+        guard = IterationGuard(3, raise_on_exhaust=True, name="fp")
+        with pytest.raises(ConvergenceError, match="fp"):
+            for _ in guard:
+                pass
+
+    def test_warn_on_exhaust(self):
+        guard = IterationGuard(3, warn_on_exhaust=True, name="fp")
+        with pytest.warns(ConvergenceWarning, match="fp"):
+            for _ in guard:
+                pass
+
+    def test_nan_residual_never_converges(self):
+        guard = IterationGuard(3, tolerance=1e6)
+        assert not guard.converged(float("nan"))
+        assert not guard.is_converged
+
+    def test_bad_construction_is_typed(self):
+        with pytest.raises(ModelDomainError):
+            IterationGuard(0)
+        with pytest.raises(ModelDomainError):
+            IterationGuard(10, tolerance=float("nan"))
+
+    def test_iteration_count_visible_midloop(self):
+        guard = IterationGuard(10)
+        seen = [i for i in guard]
+        assert seen == list(range(1, 11))
+        assert guard.n_iterations == 10
+
+
+class TestSimulationBudget:
+    def test_raises_when_exhausted(self):
+        budget = SimulationBudget(3, name="events")
+        for _ in range(3):
+            assert budget.spend()
+        with pytest.raises(SimulationBudgetError, match="events"):
+            budget.spend()
+
+    def test_graceful_mode_returns_false(self):
+        budget = SimulationBudget(2, raise_on_exhaust=False)
+        assert budget.spend()
+        assert budget.spend()
+        assert not budget.spend()
+        assert budget.exhausted
+        assert budget.remaining == 0
+
+    def test_unlimited_budget(self):
+        budget = SimulationBudget(None)
+        for _ in range(1000):
+            assert budget.spend()
+        assert not budget.exhausted
+        assert budget.remaining is None
+
+    def test_bad_limit_is_typed(self):
+        with pytest.raises(ModelDomainError):
+            SimulationBudget(0)

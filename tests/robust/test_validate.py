@@ -1,0 +1,154 @@
+"""The domain-check helpers and the @validated decorator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.robust import ModelDomainError
+from repro.robust.validate import (MAX_COUNT, check_count, check_finite,
+                                   check_fraction, check_non_negative,
+                                   check_positive, check_range,
+                                   ensure_finite_output, validated)
+
+
+class TestScalarChecks:
+    def test_check_finite_rejects_nan_and_inf(self):
+        assert check_finite("x", 1.5) == 1.5
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ModelDomainError, match="x"):
+                check_finite("x", bad)
+
+    def test_check_positive(self):
+        assert check_positive("x", 1e-30) == 1e-30
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ModelDomainError):
+                check_positive("x", bad)
+
+    def test_check_non_negative_allows_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ModelDomainError):
+            check_non_negative("x", -1e-12)
+
+    def test_check_range_open_and_closed_ends(self):
+        assert check_range("x", 0.0, 0.0, 1.0) == 0.0
+        with pytest.raises(ModelDomainError):
+            check_range("x", 0.0, 0.0, 1.0, low_open=True)
+        with pytest.raises(ModelDomainError, match="x"):
+            check_range("x", float("nan"), 0.0, 1.0)
+
+    def test_check_fraction(self):
+        assert check_fraction("x", 1.0) == 1.0
+        with pytest.raises(ModelDomainError):
+            check_fraction("x", 0.0)
+        assert check_fraction("x", 0.0, zero_ok=True) == 0.0
+
+    def test_non_numeric_is_typed_not_type_error(self):
+        with pytest.raises(ModelDomainError, match="numeric"):
+            check_positive("x", "wide")
+
+
+class TestCheckCount:
+    def test_accepts_integral_float(self):
+        assert check_count("n", 5.0) == 5
+
+    def test_rejects_bool_fraction_nan_and_huge(self):
+        for bad in (True, 2.5, float("nan"), float("inf"), 0, -3,
+                    1e30, "ten"):
+            with pytest.raises(ModelDomainError):
+                check_count("n", bad)
+
+    def test_minimum_and_ceiling(self):
+        assert check_count("n", 2, minimum=2) == 2
+        with pytest.raises(ModelDomainError, match=">= 2"):
+            check_count("n", 1, minimum=2)
+        with pytest.raises(ModelDomainError, match="<="):
+            check_count("n", MAX_COUNT + 1)
+
+
+class TestArrayChecks:
+    def test_any_bad_element_fails(self):
+        with pytest.raises(ModelDomainError):
+            check_finite("x", np.array([1.0, float("nan")]))
+        with pytest.raises(ModelDomainError):
+            check_positive("x", np.array([1.0, 0.0]))
+
+    def test_good_arrays_pass_through(self):
+        arr = np.array([1.0, 2.0])
+        assert check_positive("x", arr) is arr
+
+
+class TestEnsureFiniteOutput:
+    def test_recurses_nested_structures(self):
+        good = {"a": 1.0, "b": [2.0, (3.0, 4.0)],
+                "c": np.ones(3), "label": "ok", "flag": True,
+                "none": None}
+        assert ensure_finite_output("api", good) is good
+        bad = {"a": 1.0, "b": [2.0, float("inf")]}
+        with pytest.raises(ModelDomainError, match="api"):
+            ensure_finite_output("api", bad)
+
+    def test_dataclass_fields_are_visited(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Result:
+            value: float
+
+        with pytest.raises(ModelDomainError):
+            ensure_finite_output("api", Result(value=float("nan")))
+
+    def test_nonfinite_ok_marker_exempts_diagnostics(self):
+        from repro.robust import ConvergenceReport
+        report = ConvergenceReport(name="solver", converged=False,
+                                   n_iterations=3, max_iterations=3)
+        assert math.isnan(report.residual)
+        assert ensure_finite_output("api", report) is report
+
+
+class TestValidatedDecorator:
+    def test_checks_and_result_guard(self):
+        @validated(_result_finite=True, x="positive", frac="fraction")
+        def model(x, frac=0.5):
+            return x if frac > 0.1 else float("nan")
+
+        assert model(2.0) == 2.0
+        with pytest.raises(ModelDomainError, match="x"):
+            model(-1.0)
+        with pytest.raises(ModelDomainError, match="frac"):
+            model(1.0, frac=1.5)
+        with pytest.raises(ModelDomainError, match="model"):
+            model(1.0, frac=0.05)   # NaN output is caught at the boundary
+
+    def test_none_arguments_are_skipped(self):
+        @validated(x="positive")
+        def model(x=None):
+            return 1.0
+
+        assert model() == 1.0
+        assert model(None) == 1.0
+
+    def test_tuple_spec_is_closed_range(self):
+        @validated(x=(0.0, 1.0))
+        def model(x):
+            return x
+
+        assert model(0.0) == 0.0
+        with pytest.raises(ModelDomainError):
+            model(1.5)
+
+    def test_unknown_parameter_fails_at_decoration_time(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            @validated(nope="positive")
+            def model(x):
+                return x
+
+    def test_metadata_preserved(self):
+        @validated(x="positive")
+        def model(x):
+            """Docs."""
+            return x
+
+        assert model.__name__ == "model"
+        assert model.__doc__ == "Docs."
+        assert model.__validated_params__ == {"x": "positive"}

@@ -1,8 +1,24 @@
 """Tests for the python -m repro command-line interface."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import main
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def run_cli(*argv):
+    """Run ``python -m repro`` in a subprocess; the traceback-free
+    exit contract must hold for real invocations, not just main()."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run([sys.executable, "-m", "repro", *argv],
+                          capture_output=True, text=True, env=env)
 
 
 class TestCli:
@@ -46,3 +62,34 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliHardening:
+    def test_unknown_subcommand_exits_cleanly(self):
+        result = run_cli("frobnicate")
+        assert result.returncode != 0
+        assert "Traceback" not in result.stderr
+        assert "invalid choice" in result.stderr
+
+    def test_unknown_node_subprocess_one_liner(self):
+        result = run_cli("node", "7nm")
+        assert result.returncode == 1
+        assert "Traceback" not in result.stderr
+        assert result.stderr.startswith("error:")
+        assert "available" in result.stderr
+
+    def test_strict_flag_accepted_on_clean_run(self, capsys):
+        assert main(["--strict", "nodes"]) == 0
+        assert "65nm" in capsys.readouterr().out
+
+    def test_out_of_calibration_warns_but_succeeds(self, capsys):
+        from repro.robust import ModelDomainWarning
+        with pytest.warns(ModelDomainWarning, match="calibrated"):
+            assert main(["leakage", "--temperature", "700"]) == 0
+
+    def test_strict_promotes_warning_to_error(self, capsys):
+        assert main(["--strict", "leakage",
+                     "--temperature", "700"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error (strict):")
+        assert "calibrated" in err
