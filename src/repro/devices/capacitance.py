@@ -1,4 +1,9 @@
-"""MOS capacitance models used by delay, energy and noise analyses."""
+"""MOS capacitance models used by delay, energy and noise analyses.
+
+All formulas are elementwise, so ``width`` may be a scalar or a numpy
+array (one entry per device); the batched timing engine relies on
+this to evaluate a whole netlist's parasitics in one call.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,8 @@ from dataclasses import dataclass
 
 from ..core.constants import EPSILON_0, EPSILON_SI, ELECTRON_CHARGE
 import math
+
+import numpy as np
 
 from ..technology.node import TechnologyNode
 
@@ -66,10 +73,10 @@ def junction_capacitance(node: TechnologyNode, width: float,
 
 def device_capacitances(node: TechnologyNode, width: float,
                         length: float = None) -> DeviceCapacitances:
-    """All lumped capacitances of a W x L device."""
+    """All lumped capacitances of a W x L device (scalar or array W)."""
     if length is None:
         length = node.feature_size
-    if width <= 0 or length <= 0:
+    if np.any(np.asarray(width) <= 0) or np.any(np.asarray(length) <= 0):
         raise ValueError("device dimensions must be positive")
     return DeviceCapacitances(
         gate=node.cox * width * length,

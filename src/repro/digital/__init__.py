@@ -41,6 +41,7 @@ from .timing import (
     critical_delay,
     delay_under_mismatch,
 )
+from .timing_compiled import BatchTimingResult, CompiledTimingGraph
 from .energy import (
     PowerReport,
     analytic_power_estimate,
@@ -96,6 +97,7 @@ __all__ = [
     "random_stimulus",
     "StaticTimingAnalyzer", "TimingReport", "critical_delay",
     "delay_under_mismatch",
+    "BatchTimingResult", "CompiledTimingGraph",
     "PowerReport", "analytic_power_estimate", "leakage_fraction_trend",
     "power_report", "switching_energy_of_run",
     "SizingResult", "WorstCasePenalty", "energy_vs_delay_curve",

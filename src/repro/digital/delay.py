@@ -59,10 +59,19 @@ class DelayModel:
     @validated(_result_finite=True, vth="finite", vdd="positive")
     def delay(self, vth: Optional[float] = None,
               vdd: Optional[float] = None) -> float:
-        """Gate delay [s] at the given (or nominal) V_T and V_DD."""
+        """Gate delay [s] at the given (or nominal) V_T and V_DD.
+
+        Every term is elementwise, so ``vth``/``vdd`` (and the model's
+        own ``drive_width``/``load_capacitance``) may be scalars or
+        broadcastable numpy arrays; scalar inputs return a plain
+        float.  The batched timing engine
+        (:mod:`repro.digital.timing_compiled`) evaluates one such call
+        over a ``(n_samples, n_gates)`` V_T grid, so the scalar and
+        vectorized paths share this single delay formula.
+        """
         vth = vth if vth is not None else self.node.vth
         vdd = vdd if vdd is not None else self.node.vdd
-        if vdd <= vth:
+        if np.any(np.asarray(vdd) <= np.asarray(vth)):
             raise ModelDomainError(
                 f"vdd ({vdd}) must exceed vth ({vth}) for the gate to switch")
         mu_cox_wl = (self.node.mobility_n * self.node.cox
@@ -113,7 +122,7 @@ class DelayModel:
         # Clip shifts that would put VT above VDD (non-functional gate).
         max_shift = 0.95 * self.node.overdrive
         shifts = np.clip(shifts, -self.node.vth * 0.9, max_shift)
-        return np.array([self.delay(vth=self.node.vth + s) for s in shifts])
+        return np.asarray(self.delay(vth=self.node.vth + shifts))
 
 
 @validated(drive_width="positive")

@@ -140,16 +140,32 @@ class Cell:
         return (self.cell_type.parasitic_effort
                 * inverter_self_load(self.node, self.nmos_width))
 
-    def delay(self, load_capacitance: float,
-              vth_offset: float = 0.0) -> float:
-        """Propagation delay [s] driving ``load_capacitance``."""
-        model = DelayModel(
+    def delay_model(self, load_capacitance: float) -> DelayModel:
+        """The :class:`DelayModel` of this cell driving the given load.
+
+        The effective drive width is de-rated by the logical effort
+        and the extra internal parasitics (beyond one inverter's) are
+        folded into the load, so one alpha-power-law model covers the
+        whole library.  ``load_capacitance`` may be a scalar or an
+        array (one entry per gate) -- the batched timing engine builds
+        a single array-valued model for a whole netlist this way.
+        """
+        return DelayModel(
             node=self.node,
             drive_width=self.nmos_width / self.cell_type.logical_effort,
             load_capacitance=load_capacitance
             + (self.cell_type.parasitic_effort - 1.0)
             * inverter_self_load(self.node, self.nmos_width),
         )
+
+    def delay(self, load_capacitance: float,
+              vth_offset: float = 0.0) -> float:
+        """Propagation delay [s] driving ``load_capacitance``.
+
+        ``vth_offset`` may be a scalar or a numpy array of per-sample
+        shifts (elementwise delays come back in the same shape).
+        """
+        model = self.delay_model(load_capacitance)
         return model.delay(vth=self.node.vth + vth_offset)
 
     def switching_energy(self, load_capacitance: float) -> float:

@@ -57,7 +57,18 @@ class Netlist:
         self.primary_inputs: List[str] = []
         self._declared_outputs: List[str] = []
         self._net_driver: Dict[str, str] = {}
+        # net -> instance names loading it, in insertion order (the
+        # fanout index that keeps loads_of/fanout_capacitance O(fanout)
+        # instead of a scan over every instance).
+        self._net_loads: Dict[str, List[str]] = {}
         self._counter = 0
+        self._graph_cache: Optional[nx.DiGraph] = None
+        self._topo_cache: Optional[List[str]] = None
+
+    def _invalidate_caches(self) -> None:
+        """Drop derived structure after a mutation."""
+        self._graph_cache = None
+        self._topo_cache = None
 
     # --- construction -----------------------------------------------------
 
@@ -68,6 +79,7 @@ class Netlist:
         if net in self.primary_inputs:
             raise ValueError(f"input {net!r} already declared")
         self.primary_inputs.append(net)
+        self._invalidate_caches()
         return net
 
     def add_inputs(self, nets: Iterable[str]) -> List[str]:
@@ -104,6 +116,12 @@ class Netlist:
                             inputs=tuple(inputs), output=output)
         self.instances[instance_name] = instance
         self._net_driver[output] = instance_name
+        seen = set()
+        for net in instance.inputs:
+            if net not in seen:
+                self._net_loads.setdefault(net, []).append(instance_name)
+                seen.add(net)
+        self._invalidate_caches()
         return instance
 
     # --- structure queries --------------------------------------------------
@@ -134,9 +152,9 @@ class Netlist:
         return self.instances[name] if name else None
 
     def loads_of(self, net: str) -> List[Instance]:
-        """Instances with ``net`` as an input."""
-        return [inst for inst in self.instances.values()
-                if net in inst.inputs]
+        """Instances with ``net`` as an input (O(fanout) via index)."""
+        return [self.instances[name]
+                for name in self._net_loads.get(net, ())]
 
     def fanout_capacitance(self, net: str,
                            wire_cap_per_fanout: float = 0.5e-15) -> float:
@@ -151,35 +169,42 @@ class Netlist:
         return len(self.instances)
 
     def to_graph(self) -> nx.DiGraph:
-        """Directed graph: instance -> instance edges through nets."""
-        graph = nx.DiGraph()
-        graph.add_nodes_from(self.instances)
-        for instance in self.instances.values():
-            for net in instance.inputs:
-                driver = self._net_driver.get(net)
-                if driver is not None:
-                    graph.add_edge(driver, instance.name, net=net)
-        return graph
+        """Directed graph: instance -> instance edges through nets.
+
+        The graph is rebuilt only after a mutation; callers receive a
+        fresh copy each time so they may edit it freely.
+        """
+        if self._graph_cache is None:
+            graph = nx.DiGraph()
+            graph.add_nodes_from(self.instances)
+            for instance in self.instances.values():
+                for net in instance.inputs:
+                    driver = self._net_driver.get(net)
+                    if driver is not None:
+                        graph.add_edge(driver, instance.name, net=net)
+            self._graph_cache = graph
+        return nx.DiGraph(self._graph_cache)
 
     def topological_order(self) -> List[Instance]:
-        """Instances in topological order.
+        """Instances in topological order (cached until mutation).
 
         Sequential cells break cycles: edges *out of* flip-flops are
         treated as new timing startpoints, so feedback through DFFs is
         legal.
         """
-        graph = self.to_graph()
-        # Remove incoming edges of sequential cells to cut registered loops.
-        cut = nx.DiGraph(graph)
-        for name, instance in self.instances.items():
-            if instance.is_sequential:
-                cut.remove_edges_from(list(cut.in_edges(name)))
-        try:
-            order = list(nx.topological_sort(cut))
-        except nx.NetworkXUnfeasible:
-            raise ValueError(
-                "netlist contains a combinational loop") from None
-        return [self.instances[name] for name in order]
+        if self._topo_cache is None:
+            cut = self.to_graph()
+            # Remove incoming edges of sequential cells to cut
+            # registered loops.
+            for name, instance in self.instances.items():
+                if instance.is_sequential:
+                    cut.remove_edges_from(list(cut.in_edges(name)))
+            try:
+                self._topo_cache = list(nx.topological_sort(cut))
+            except nx.NetworkXUnfeasible:
+                raise ValueError(
+                    "netlist contains a combinational loop") from None
+        return [self.instances[name] for name in self._topo_cache]
 
     # --- evaluation -----------------------------------------------------------
 

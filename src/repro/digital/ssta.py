@@ -17,10 +17,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..robust.validate import check_count
 from ..technology.node import TechnologyNode
 from ..variability.statistical import VariationSpec
 from .netlist import Netlist
 from .timing import StaticTimingAnalyzer
+from .timing_compiled import CompiledTimingGraph
 
 
 @dataclass(frozen=True)
@@ -63,7 +65,13 @@ class StatisticalTimingAnalyzer:
 
     Each sample draws one shared inter-die V_T shift plus independent
     per-gate intra-die offsets (Pelgrom-sized from each gate's device
-    area) and runs a full STA.
+    area).  The default path compiles the netlist once
+    (:class:`~repro.digital.timing_compiled.CompiledTimingGraph`) and
+    evaluates all samples as one ``(n_samples, n_gates)`` array; the
+    per-sample scalar loop stays available (``vectorized=False``) as
+    the equivalence oracle.  Both paths draw per sample one inter-die
+    variate followed by ``n_gates`` intra-die variates, so fixed-seed
+    samples, critical paths and criticality counts agree.
     """
 
     def __init__(self, netlist: Netlist,
@@ -84,15 +92,36 @@ class StatisticalTimingAnalyzer:
                 node, width, node.feature_size)
         return sigmas
 
-    def run(self, n_samples: int = 200) -> SstaResult:
-        """Draw ``n_samples`` dies and collect delay statistics."""
-        if n_samples < 2:
-            raise ValueError("n_samples must be >= 2")
+    def run(self, n_samples: int = 200,
+            vectorized: bool = True) -> SstaResult:
+        """Draw ``n_samples`` dies and collect delay statistics.
+
+        ``vectorized=False`` selects the retained per-sample scalar
+        loop (one full dict-based STA per die) -- the oracle the
+        batched path is tested against.
+        """
+        n_samples = check_count("n_samples", n_samples, minimum=2)
         nominal = StaticTimingAnalyzer(
             self.netlist,
             wire_cap_per_fanout=self.wire_cap_per_fanout).analyze()
         sigmas = self._intra_sigmas()
         names = list(sigmas)
+        if vectorized:
+            compiled = CompiledTimingGraph(
+                self.netlist,
+                wire_cap_per_fanout=self.wire_cap_per_fanout)
+            # Same stream as the scalar loop: per sample, one
+            # inter-die draw then n_gates intra-die draws.
+            draws = self.rng.standard_normal(
+                (n_samples, 1 + len(names)))
+            global_shift = self.variation.vth_inter * draws[:, 0]
+            offsets = np.array([sigmas[name] for name in names]) \
+                * draws[:, 1:]
+            batch = compiled.evaluate(
+                offsets, global_vth_offset=global_shift)
+            return SstaResult(samples=batch.critical_delays,
+                              nominal_delay=nominal.critical_delay,
+                              criticality=batch.criticality())
         samples = np.empty(n_samples)
         on_path: Dict[str, int] = {name: 0 for name in names}
         for i in range(n_samples):
@@ -135,9 +164,8 @@ def corner_vs_statistical_margin(netlist: Netlist,
     corner_shift = n_sigma * variation.vth_inter \
         + n_sigma * variation.intra_sigma_vth(
             node, 2.0 * node.feature_size, node.feature_size)
-    corner_delay = StaticTimingAnalyzer(
-        netlist, global_vth_offset=corner_shift).analyze(
-            ).critical_delay
+    corner_delay = float(CompiledTimingGraph(netlist).evaluate(
+        global_vth_offset=corner_shift).critical_delays[0])
     analyzer = StatisticalTimingAnalyzer(netlist, variation, seed=seed)
     result = analyzer.run(n_samples)
     quantile = float(norm.cdf(n_sigma))
@@ -202,12 +230,18 @@ def spatially_correlated_ssta(netlist: Netlist,
     variance the white-noise SSTA underestimates.
 
     Returns both sigmas for comparison.
+
+    Each sample's V_T map is still drawn die-by-die (the maps are
+    independently seeded objects), but every per-gate query is one
+    batched :meth:`VtMap.at` call and all timing runs happen in two
+    :meth:`CompiledTimingGraph.evaluate` calls over the stacked
+    offset matrices -- same variate stream as per-gate scalar
+    queries and per-sample STA.
     """
     import numpy as np
     from ..variability.spatial import SpatialSpec, sample_vt_map
 
-    if n_samples < 2:
-        raise ValueError("n_samples must be >= 2")
+    n_samples = check_count("n_samples", n_samples, minimum=2)
     node = netlist.node
     white_sigma = VariationSpec().intra_sigma_vth(
         node, 2.0 * node.feature_size, node.feature_size)
@@ -218,28 +252,28 @@ def spatially_correlated_ssta(netlist: Netlist,
         white_sigma=white_sigma)
 
     names = list(netlist.instances)
-    n_cols = max(int(math.ceil(math.sqrt(len(names)))), 1)
-    positions = {
-        name: (0.05 * die + 0.9 * die * (index % n_cols) / n_cols,
-               0.05 * die + 0.9 * die * (index // n_cols) / n_cols)
-        for index, name in enumerate(names)}
+    n_gates = len(names)
+    n_cols = max(int(math.ceil(math.sqrt(n_gates))), 1)
+    xs = np.array([0.05 * die + 0.9 * die * (index % n_cols) / n_cols
+                   for index in range(n_gates)])
+    ys = np.array([0.05 * die + 0.9 * die * (index // n_cols) / n_cols
+                   for index in range(n_gates)])
 
     rng = np.random.default_rng(seed)
-    correlated = np.empty(n_samples)
-    independent = np.empty(n_samples)
+    correlated_offsets = np.empty((n_samples, n_gates))
+    independent_offsets = np.empty((n_samples, n_gates))
     total_sigma = math.sqrt(spatial_spec.white_sigma ** 2
                             + spatial_spec.correlated_sigma ** 2)
     for i in range(n_samples):
         vt_map = sample_vt_map(node, die, spatial_spec,
                                seed=int(rng.integers(2 ** 31)))
-        offsets = {name: vt_map.at(*positions[name])
-                   for name in names}
-        correlated[i] = StaticTimingAnalyzer(
-            netlist, vth_offsets=offsets).analyze().critical_delay
-        white = dict(zip(names, rng.normal(
-            0.0, total_sigma, size=len(names))))
-        independent[i] = StaticTimingAnalyzer(
-            netlist, vth_offsets=white).analyze().critical_delay
+        correlated_offsets[i] = vt_map.at(xs, ys)
+        independent_offsets[i] = rng.normal(
+            0.0, total_sigma, size=n_gates)
+    compiled = CompiledTimingGraph(netlist)
+    correlated = compiled.evaluate(correlated_offsets).critical_delays
+    independent = compiled.evaluate(
+        independent_offsets).critical_delays
     return {
         "sigma_correlated_ps": float(correlated.std(ddof=1)) * 1e12,
         "sigma_independent_ps": float(independent.std(ddof=1)) * 1e12,

@@ -177,6 +177,10 @@ def default_registry() -> List[ApiSpec]:
     from ..devices import leakage
     from ..devices.mosfet import Mosfet
     from ..digital import delay as ddelay
+    from ..digital.generators import ripple_adder
+    from ..digital.ssta import StatisticalTimingAnalyzer
+    from ..digital.timing import delay_under_mismatch
+    from ..digital.timing_compiled import CompiledTimingGraph
     from ..interconnect import elmore, wire
     from ..technology.library import get_node
     from ..technology.node import TechnologyNode
@@ -250,6 +254,31 @@ def default_registry() -> List[ApiSpec]:
             stack=ThermalStack(rth_junction_to_ambient=rth),
             max_iterations=8)
 
+    timing_netlist = ripple_adder(node, width=2)
+
+    def compiled_evaluate(global_vth_offset: float,
+                          wire_cap_per_fanout: float,
+                          vth_offset: float) -> Any:
+        graph = CompiledTimingGraph(
+            timing_netlist, wire_cap_per_fanout=wire_cap_per_fanout)
+        offsets = np.full((2, graph.n_gates), vth_offset)
+        result = graph.evaluate(
+            offsets, global_vth_offset=global_vth_offset)
+        return {"critical_delays": result.critical_delays,
+                "criticality": result.criticality()}
+
+    def batched_ssta(n_samples: Any, vth_inter: float) -> Any:
+        from ..variability.statistical import VariationSpec as _Spec
+        analyzer = StatisticalTimingAnalyzer(
+            timing_netlist, _Spec(vth_inter=vth_inter), seed=13)
+        result = analyzer.run(n_samples)
+        return {"samples": result.samples,
+                "nominal": result.nominal_delay}
+
+    def mismatch_delays(sigma_vth: float, n_samples: Any) -> Any:
+        return delay_under_mismatch(timing_netlist, sigma_vth,
+                                    n_samples=n_samples, seed=17)
+
     def ler_spread(sigma: float, correlation_length: float,
                    width: float) -> Dict[str, float]:
         params = ler.LerParameters(sigma=sigma,
@@ -302,6 +331,21 @@ def default_registry() -> List[ApiSpec]:
                 lambda **kw: ddelay.energy_delay_product(node, **kw),
                 {"vdd": 1.0, "vth": 0.22},
                 ("vdd", "vth")),
+        ApiSpec("digital.timing_compiled.CompiledTimingGraph.evaluate",
+                compiled_evaluate,
+                {"global_vth_offset": 0.0,
+                 "wire_cap_per_fanout": 0.5e-15,
+                 "vth_offset": 0.01},
+                ("global_vth_offset", "wire_cap_per_fanout",
+                 "vth_offset")),
+        ApiSpec("digital.ssta.StatisticalTimingAnalyzer.run",
+                batched_ssta,
+                {"n_samples": 6, "vth_inter": 0.015},
+                ("n_samples", "vth_inter")),
+        ApiSpec("digital.timing.delay_under_mismatch",
+                mismatch_delays,
+                {"sigma_vth": 0.01, "n_samples": 6},
+                ("sigma_vth", "n_samples")),
         ApiSpec("interconnect.wire.WireGeometry", wire_geometry,
                 {"pitch": 180e-9, "width_fraction": 0.5,
                  "aspect_ratio": 2.0},
