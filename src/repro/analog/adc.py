@@ -17,9 +17,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..robust.rng import resolve_rng
 from ..technology.node import TechnologyNode
 from .tradeoff import (TradeoffPoint, accuracy_from_bits,
                        mismatch_constant, thermal_noise_constant)
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -133,7 +135,7 @@ def resolution_speed_frontier(node: TechnologyNode,
                               ) -> List[Dict[str, float]]:
     """Max sample rate vs resolution at a fixed power budget."""
     if power_budget <= 0:
-        raise ValueError("power_budget must be positive")
+        raise ModelDomainError("power_budget must be positive")
     rows = []
     for n_bits in n_bits_range:
         unit = minimum_adc_power(node, 1.0, n_bits, calibrated)
@@ -153,7 +155,7 @@ def sample_synthetic_survey(node: TechnologyNode, n_designs: int = 30,
     Designs land a log-uniform margin above the mismatch limit --
     useful for populating Fig. 6 more densely in the benchmark.
     """
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed=seed)
     mismatch = mismatch_constant(node)
     designs = []
     for index in range(n_designs):

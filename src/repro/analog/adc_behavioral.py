@@ -17,10 +17,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..robust.errors import CalibrationError
+from ..robust.errors import CalibrationError, ModelDomainError
 from ..technology.node import TechnologyNode
 from ..variability.pelgrom import sigma_delta_vth
 from .noise import enob_from_snr
+from ..robust.rng import resolve_rng
 
 
 @dataclass
@@ -75,14 +76,14 @@ class PipelineAdc:
                  device_area: Optional[float] = None,
                  seed: Optional[int] = None):
         if n_stages < 2:
-            raise ValueError("n_stages must be >= 2")
+            raise ModelDomainError("n_stages must be >= 2")
         if v_ref <= 0:
-            raise ValueError("v_ref must be positive")
+            raise ModelDomainError("v_ref must be positive")
         self.node = node
         self.n_stages = n_stages
         self.v_ref = v_ref
         self.stages: List[PipelineStage] = []
-        rng = np.random.default_rng(seed)
+        rng = resolve_rng(seed=seed)
         for _ in range(n_stages):
             if device_area is None:
                 self.stages.append(PipelineStage())
@@ -173,9 +174,9 @@ def sine_test(adc: PipelineAdc, n_samples: int = 4096,
     ``cycles`` must be odd/coprime to ``n_samples`` for coherence.
     """
     if n_samples < 256:
-        raise ValueError("n_samples must be >= 256")
+        raise ModelDomainError("n_samples must be >= 256")
     if math.gcd(cycles, n_samples) != 1:
-        raise ValueError("cycles must be coprime to n_samples")
+        raise ModelDomainError("cycles must be coprime to n_samples")
     t = np.arange(n_samples)
     v_in = (amplitude_fraction * adc.v_ref
             * np.sin(2.0 * math.pi * cycles * t / n_samples))

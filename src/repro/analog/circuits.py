@@ -25,6 +25,7 @@ from ..core.constants import kt_energy, ELECTRON_CHARGE
 from ..technology.node import TechnologyNode
 from ..devices.mosfet import DeviceType, Mosfet
 from ..variability.pelgrom import sigma_delta_vth
+from ..robust.errors import ModelDomainError
 
 
 @dataclass
@@ -46,10 +47,10 @@ class OtaDesign:
         for name in ("input_width", "input_length", "load_width",
                      "load_length"):
             if getattr(self, name) < minimum:
-                raise ValueError(
+                raise ModelDomainError(
                     f"{name} below feature size {minimum:.2e} m")
         if self.tail_current <= 0:
-            raise ValueError("tail_current must be positive")
+            raise ModelDomainError("tail_current must be positive")
 
 
 @dataclass(frozen=True)
@@ -86,7 +87,7 @@ class SingleStageOta:
 
     def __init__(self, node: TechnologyNode, load_capacitance: float):
         if load_capacitance <= 0:
-            raise ValueError("load_capacitance must be positive")
+            raise ModelDomainError("load_capacitance must be positive")
         self.node = node
         self.load_capacitance = load_capacitance
 
@@ -167,7 +168,7 @@ class MillerOta:
     def __init__(self, node: TechnologyNode, load_capacitance: float,
                  compensation_capacitance: Optional[float] = None):
         if load_capacitance <= 0:
-            raise ValueError("load_capacitance must be positive")
+            raise ModelDomainError("load_capacitance must be positive")
         self.node = node
         self.load_capacitance = load_capacitance
         self.compensation = (compensation_capacitance
@@ -222,13 +223,13 @@ class DetectorFrontendDesign:
         """Sanity-check the free variables."""
         if self.input_width < node.feature_size \
                 or self.input_length < node.feature_size:
-            raise ValueError("input device below feature size")
+            raise ModelDomainError("input device below feature size")
         if self.feedback_capacitance <= 0:
-            raise ValueError("feedback_capacitance must be positive")
+            raise ModelDomainError("feedback_capacitance must be positive")
         if self.shaper_time_constant <= 0:
-            raise ValueError("shaper_time_constant must be positive")
+            raise ModelDomainError("shaper_time_constant must be positive")
         if self.drain_current <= 0:
-            raise ValueError("drain_current must be positive")
+            raise ModelDomainError("drain_current must be positive")
 
 
 @dataclass(frozen=True)
@@ -269,9 +270,9 @@ class DetectorFrontend:
                  detector_capacitance: float = 5e-12,
                  detector_leakage: float = 1e-9):
         if detector_capacitance <= 0:
-            raise ValueError("detector_capacitance must be positive")
+            raise ModelDomainError("detector_capacitance must be positive")
         if detector_leakage < 0:
-            raise ValueError("detector_leakage must be non-negative")
+            raise ModelDomainError("detector_leakage must be non-negative")
         self.node = node
         self.detector_capacitance = detector_capacitance
         self.detector_leakage = detector_leakage

@@ -6,13 +6,15 @@ import math
 from typing import Dict, Optional
 
 from ..core.constants import BOLTZMANN, kt_energy
+from ..robust.errors import ModelDomainError
+from ..robust.validate import validated
 
 
 def ktc_noise_voltage(capacitance: float,
                       temperature: float = 300.0) -> float:
     """RMS kT/C sampling noise [V] on ``capacitance`` [F]."""
     if capacitance <= 0:
-        raise ValueError("capacitance must be positive")
+        raise ModelDomainError("capacitance must be positive")
     return math.sqrt(kt_energy(temperature) / capacitance)
 
 
@@ -22,7 +24,7 @@ def capacitance_for_snr(snr_db: float, signal_rms: float,
     """Capacitance [F] for kT/C noise ``margin_db`` below the target
     noise floor at ``snr_db`` and ``signal_rms`` [V]."""
     if signal_rms <= 0:
-        raise ValueError("signal_rms must be positive")
+        raise ModelDomainError("signal_rms must be positive")
     noise_rms = signal_rms / 10.0 ** ((snr_db + margin_db) / 20.0)
     return kt_energy(temperature) / noise_rms ** 2
 
@@ -35,7 +37,7 @@ def thermal_noise_density_mosfet(gm: float, gamma: float = 2.0 / 3.0,
     channels (excess noise), another nanometre-era tax.
     """
     if gm <= 0:
-        raise ValueError("gm must be positive")
+        raise ModelDomainError("gm must be positive")
     return 4.0 * kt_energy(temperature) / 1.0 * gamma / gm
 
 
@@ -47,7 +49,7 @@ def flicker_noise_density(kf: float, cox: float, width: float,
     big.
     """
     if min(cox, width, length, frequency) <= 0:
-        raise ValueError("all parameters must be positive")
+        raise ModelDomainError("all parameters must be positive")
     return kf / (cox * width * length * frequency)
 
 
@@ -62,15 +64,17 @@ def corner_frequency(kf: float, cox: float, width: float, length: float,
 def snr_from_noise(signal_rms: float, noise_rms: float) -> float:
     """SNR [dB] of RMS signal over RMS noise."""
     if signal_rms <= 0 or noise_rms <= 0:
-        raise ValueError("signal and noise must be positive")
+        raise ModelDomainError("signal and noise must be positive")
     return 20.0 * math.log10(signal_rms / noise_rms)
 
 
+@validated(snr_db="finite")
 def enob_from_snr(snr_db: float) -> float:
     """Effective number of bits: (SNR - 1.76)/6.02."""
     return (snr_db - 1.76) / 6.02
 
 
+@validated(enob="finite")
 def snr_from_enob(enob: float) -> float:
     """SNR [dB] of an ``enob``-bit ideal quantizer."""
     return 6.02 * enob + 1.76
@@ -86,7 +90,7 @@ def noise_budget(snr_db: float, signal_rms: float,
     gives the thermal-limit power of eq. 4.
     """
     if n_stages < 1:
-        raise ValueError("n_stages must be >= 1")
+        raise ModelDomainError("n_stages must be >= 1")
     total_noise = signal_rms / 10.0 ** (snr_db / 20.0)
     per_stage = total_noise / math.sqrt(n_stages)
     cap = kt_energy(temperature) / per_stage ** 2

@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..technology.node import TechnologyNode
 from .tradeoff import accuracy_from_bits, mismatch_constant
+from ..robust.errors import ModelDomainError
+from ..robust.validate import validated
 
 
 def power_ratio(node1: TechnologyNode, node2: TechnologyNode) -> float:
@@ -42,7 +44,7 @@ def mismatch_limited_power(node: TechnologyNode, speed: float,
     using A_VT ~ t_ox).
     """
     if speed <= 0:
-        raise ValueError("speed must be positive")
+        raise ModelDomainError("speed must be positive")
     accuracy = accuracy_from_bits(n_bits)
     base = mismatch_constant(node, swing_fraction=1.0)
     swing = swing_fraction * node.vdd
@@ -119,6 +121,7 @@ def digital_power_trend(nodes: Sequence[TechnologyNode],
     return rows
 
 
+@validated(vdsat="positive")
 def headroom_trend(nodes: Sequence[TechnologyNode],
                    vdsat: float = 0.15,
                    ) -> List[Dict[str, float]]:

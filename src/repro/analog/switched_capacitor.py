@@ -18,6 +18,7 @@ from ..technology.node import TechnologyNode
 from .circuits import OtaDesign, OtaPerformance, SingleStageOta
 from .noise import ktc_noise_voltage
 from .tradeoff import accuracy_from_bits
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -40,7 +41,7 @@ class ScAmplifier:
 
     def __post_init__(self) -> None:
         if self.sampling_capacitance <= 0 or self.gain <= 0:
-            raise ValueError("capacitance and gain must be positive")
+            raise ModelDomainError("capacitance and gain must be positive")
 
     @property
     def feedback_factor(self) -> float:
@@ -59,7 +60,7 @@ class ScAmplifier:
         then exponential settling at the closed-loop bandwidth.
         """
         if step <= 0 or accuracy <= 1:
-            raise ValueError("step must be positive, accuracy > 1")
+            raise ModelDomainError("step must be positive, accuracy > 1")
         omega = self.closed_loop_bandwidth
         slew = self.ota.slew_rate
         if slew <= 0 or omega <= 0:
@@ -95,7 +96,7 @@ class ScAmplifier:
                            temperature: float = 300.0) -> float:
         """Resolution where kT/C noise equals the quantization noise."""
         if full_scale <= 0:
-            raise ValueError("full_scale must be positive")
+            raise ModelDomainError("full_scale must be positive")
         noise = ktc_noise_voltage(self.sampling_capacitance,
                                   temperature)
         # q_rms = LSB/sqrt(12); solve 2^-N * FS / sqrt(12) = v_n.

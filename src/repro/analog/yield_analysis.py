@@ -22,6 +22,8 @@ from ..technology.node import TechnologyNode
 from ..variability.pelgrom import sigma_delta_beta, sigma_delta_vth
 from ..variability.statistical import MonteCarloSampler, VariationSpec
 from .circuits import OtaDesign, OtaPerformance, SingleStageOta
+from ..robust.rng import resolve_rng
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -52,7 +54,7 @@ class OtaYieldAnalyzer:
         self.design = design
         self.engine = SingleStageOta(node, load_capacitance)
         self.variation = variation
-        self.rng = np.random.default_rng(seed)
+        self.rng = resolve_rng(seed=seed)
         self._sampler = MonteCarloSampler(node, variation, seed=seed)
 
     def _evaluate_shifted(self, vth_global: float,
@@ -105,7 +107,7 @@ class OtaYieldAnalyzer:
         calls.
         """
         if n_samples < 1:
-            raise ValueError("n_samples must be positive")
+            raise ModelDomainError("n_samples must be positive")
         minima = ("gain_db", "gbw_hz", "phase_margin_deg",
                   "slew_rate", "swing")
         batch = self._sampler.sample_dies_batch(n_samples)
@@ -149,7 +151,7 @@ def offset_yield(node: TechnologyNode, width: float, length: float,
     """
     from scipy.stats import norm
     if offset_limit <= 0:
-        raise ValueError("offset_limit must be positive")
+        raise ModelDomainError("offset_limit must be positive")
     sigma = sigma_delta_vth(node, width, length)
     return float(norm.cdf(offset_limit / sigma)
                  - norm.cdf(-offset_limit / sigma))
@@ -191,6 +193,6 @@ def area_for_offset_yield(node: TechnologyNode, offset_limit: float,
     """Gate area [m^2] for the pair to meet ``offset_limit`` at
     ``sigma_level`` confidence."""
     if offset_limit <= 0 or sigma_level <= 0:
-        raise ValueError("offset_limit and sigma_level must be positive")
+        raise ModelDomainError("offset_limit and sigma_level must be positive")
     sigma_needed = offset_limit / sigma_level
     return (node.avt / sigma_needed) ** 2

@@ -8,6 +8,7 @@ e.g. ``nm(65)`` instead of ``65e-9``.
 from __future__ import annotations
 
 import math
+from ..robust.errors import ModelDomainError
 
 # --- fundamental constants (CODATA values, SI units) ---------------------
 
@@ -45,14 +46,14 @@ def thermal_voltage(temperature: float = ROOM_TEMPERATURE) -> float:
     At 300 K this is approximately 25.85 mV.
     """
     if temperature <= 0:
-        raise ValueError(f"temperature must be positive, got {temperature}")
+        raise ModelDomainError(f"temperature must be positive, got {temperature}")
     return BOLTZMANN * temperature / ELECTRON_CHARGE
 
 
 def kt_energy(temperature: float = ROOM_TEMPERATURE) -> float:
     """Return the thermal energy kT [J] at ``temperature`` [K]."""
     if temperature <= 0:
-        raise ValueError(f"temperature must be positive, got {temperature}")
+        raise ModelDomainError(f"temperature must be positive, got {temperature}")
     return BOLTZMANN * temperature
 
 
@@ -145,14 +146,14 @@ def uw(value: float) -> float:
 def db(ratio: float) -> float:
     """Express a power ratio in decibels (10*log10)."""
     if ratio <= 0:
-        raise ValueError(f"ratio must be positive, got {ratio}")
+        raise ModelDomainError(f"ratio must be positive, got {ratio}")
     return 10.0 * math.log10(ratio)
 
 
 def db20(ratio: float) -> float:
     """Express an amplitude ratio in decibels (20*log10)."""
     if ratio <= 0:
-        raise ValueError(f"ratio must be positive, got {ratio}")
+        raise ModelDomainError(f"ratio must be positive, got {ratio}")
     return 20.0 * math.log10(ratio)
 
 
@@ -169,5 +170,5 @@ def dbm_to_watts(dbm: float) -> float:
 def watts_to_dbm(watts: float) -> float:
     """Convert a power level in watts to dBm."""
     if watts <= 0:
-        raise ValueError(f"power must be positive, got {watts}")
+        raise ModelDomainError(f"power must be positive, got {watts}")
     return 10.0 * math.log10(watts / 1e-3)

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..technology.library import all_nodes
 from ..technology.node import TechnologyNode
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -36,7 +37,7 @@ class TrendFit:
     def evaluate(self, feature_size: float) -> float:
         """Evaluate the trend at ``feature_size`` [m]."""
         if feature_size <= 0:
-            raise ValueError("feature_size must be positive")
+            raise ModelDomainError("feature_size must be positive")
         value = self.coefficient * feature_size ** self.exponent
         return max(value, self.floor)
 
@@ -68,11 +69,11 @@ def fit_trend(parameter: str,
     if nodes is None:
         nodes = all_nodes()
     if len(nodes) < 2:
-        raise ValueError("need at least two nodes to fit a trend")
+        raise ModelDomainError("need at least two nodes to fit a trend")
     sizes = np.array([node.feature_size for node in nodes])
     values = np.array([getattr(node, parameter) for node in nodes])
     if np.any(values <= 0):
-        raise ValueError(f"parameter {parameter} must be positive to fit")
+        raise ModelDomainError(f"parameter {parameter} must be positive to fit")
     exponent, log_coeff = np.polyfit(np.log(sizes), np.log(values), 1)
     return TrendFit(
         parameter=parameter,
@@ -109,7 +110,7 @@ class Roadmap:
                 name: Optional[str] = None) -> TechnologyNode:
         """Return a projected node at ``feature_size`` [m]."""
         if feature_size <= 0:
-            raise ValueError("feature_size must be positive")
+            raise ModelDomainError("feature_size must be positive")
         params = {parameter: fit.evaluate(feature_size)
                   for parameter, fit in self._fits.items()}
         # Keep VT a sane fraction of VDD even deep in extrapolation.
@@ -134,6 +135,6 @@ class Roadmap:
         each smaller by ``factor`` (default: the historical sqrt(2) per
         generation, which doubles density each step)."""
         if count < 1:
-            raise ValueError("count must be at least 1")
+            raise ModelDomainError("count must be at least 1")
         sizes = [start / factor ** i for i in range(count)]
         return self.project_series(sizes)

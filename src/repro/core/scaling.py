@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..technology.node import TechnologyNode
+from ..robust.errors import ModelDomainError
 
 
 class ScalingScenario(enum.Enum):
@@ -99,14 +100,14 @@ def scale(s: float, scenario: ScalingScenario = ScalingScenario.FULL,
     density.
     """
     if s <= 0:
-        raise ValueError(f"scale factor must be positive, got {s}")
+        raise ModelDomainError(f"scale factor must be positive, got {s}")
     if scenario is ScalingScenario.FULL:
         u = s
     elif scenario is ScalingScenario.CONSTANT_VOLTAGE:
         u = 1.0
     else:
         if u is None or u <= 0:
-            raise ValueError(
+            raise ModelDomainError(
                 "general scaling requires a positive voltage factor u")
 
     # Factor convention: new_value = old_value * factor.

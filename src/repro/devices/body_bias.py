@@ -18,6 +18,7 @@ from ..core.constants import (EPSILON_0, EPSILON_SI, ELECTRON_CHARGE,
                               thermal_voltage)
 from ..technology.node import TechnologyNode
 from .leakage import device_leakage
+from ..robust.errors import ModelDomainError
 
 
 def body_effect_gamma(node: TechnologyNode) -> float:
@@ -45,7 +46,7 @@ def vth_with_body_bias(node: TechnologyNode, vsb: float,
         gamma = body_effect_gamma(node)
         phi = 2.0 * node.fermi_potential
         if phi + vsb < 0:
-            raise ValueError(
+            raise ModelDomainError(
                 f"forward bias beyond junction turn-on: vsb={vsb}")
         return node.vth + gamma * (math.sqrt(phi + vsb) - math.sqrt(phi))
     return node.vth + node.body_factor * vsb
@@ -75,7 +76,7 @@ def body_bias_effectiveness(nodes: Sequence[TechnologyNode],
     nodes scale, limiting VTCMOS below ~90 nm.
     """
     if vsb < 0:
-        raise ValueError("vsb must be >= 0 (reverse bias)")
+        raise ModelDomainError("vsb must be >= 0 (reverse bias)")
     results = []
     for node in nodes:
         w = width if width is not None else 2.0 * node.feature_size
@@ -104,7 +105,7 @@ def required_vsb_for_reduction(node: TechnologyNode,
     vanishes -- the quantitative form of the paper's warning.
     """
     if reduction <= 1.0:
-        raise ValueError("reduction must exceed 1")
+        raise ModelDomainError("reduction must exceed 1")
     phi_t = thermal_voltage(node.temperature)
     delta_vth = node.subthreshold_n * phi_t * math.log(reduction)
     return delta_vth / node.body_factor

@@ -15,6 +15,8 @@ import math
 import numpy as np
 
 from ..technology.node import TechnologyNode
+from ..robust.errors import ModelDomainError
+from ..robust.validate import validated
 
 
 @dataclass(frozen=True)
@@ -44,11 +46,12 @@ def overlap_capacitance(node: TechnologyNode, width: float,
     length on each side.
     """
     if not 0 < overlap_fraction < 1:
-        raise ValueError("overlap_fraction must be in (0, 1)")
+        raise ModelDomainError("overlap_fraction must be in (0, 1)")
     overlap_length = overlap_fraction * node.feature_size
     return 2.0 * node.cox * width * overlap_length
 
 
+@validated(width="positive", drain_extension="positive", bias="finite")
 def junction_capacitance(node: TechnologyNode, width: float,
                          drain_extension: float = None,
                          bias: float = 0.0) -> float:
@@ -77,7 +80,7 @@ def device_capacitances(node: TechnologyNode, width: float,
     if length is None:
         length = node.feature_size
     if np.any(np.asarray(width) <= 0) or np.any(np.asarray(length) <= 0):
-        raise ValueError("device dimensions must be positive")
+        raise ModelDomainError("device dimensions must be positive")
     return DeviceCapacitances(
         gate=node.cox * width * length,
         overlap=overlap_capacitance(node, width),

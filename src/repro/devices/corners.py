@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List
 
 from ..technology.node import TechnologyNode
+from ..robust.validate import validated
 
 
 class Corner(enum.Enum):
@@ -102,6 +103,7 @@ def iter_corners(node: TechnologyNode,
         yield apply_corner(node, corner, sigmas)
 
 
+@validated(n_sigma="non-negative")
 def worst_case_vth(node: TechnologyNode,
                    sigmas: InterDieSigmas = InterDieSigmas(),
                    n_sigma: float = 3.0) -> float:

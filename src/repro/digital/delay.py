@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..robust.errors import ModelDomainError
+from ..robust.rng import resolve_rng
 from ..robust.validate import check_non_negative, check_positive, validated
 from ..technology.node import TechnologyNode
 from ..devices.capacitance import (inverter_input_capacitance,
@@ -117,7 +118,7 @@ class DelayModel:
     def monte_carlo_delays(self, sigma_vth: float, n_samples: int = 1000,
                            seed: Optional[int] = None) -> np.ndarray:
         """Sample the delay distribution under Gaussian V_T variation."""
-        rng = np.random.default_rng(seed)
+        rng = resolve_rng(seed=seed)
         shifts = rng.normal(0.0, sigma_vth, size=n_samples)
         # Clip shifts that would put VT above VDD (non-functional gate).
         max_shift = 0.95 * self.node.overdrive

@@ -19,6 +19,8 @@ from ..technology.node import TechnologyNode
 from ..devices.leakage import gate_leakage_per_gate
 from .netlist import Netlist
 from .simulator import SimulationResult
+from ..robust.errors import ModelDomainError
+from ..robust.validate import validated
 
 
 @dataclass(frozen=True)
@@ -48,6 +50,7 @@ class PowerReport:
         return self.leakage / self.total
 
 
+@validated(wire_cap_per_fanout="non-negative")
 def switching_energy_of_run(netlist: Netlist,
                             result: SimulationResult,
                             wire_cap_per_fanout: float = 0.5e-15) -> float:
@@ -77,7 +80,7 @@ def power_report(netlist: Netlist, result: SimulationResult,
     (the classic ~10 % rule for balanced slopes).
     """
     if result.duration <= 0:
-        raise ValueError("simulation duration must be positive")
+        raise ModelDomainError("simulation duration must be positive")
     dynamic = switching_energy_of_run(
         netlist, result, wire_cap_per_fanout) / result.duration
     sub = 0.0
@@ -108,9 +111,9 @@ def analytic_power_estimate(node: TechnologyNode, n_gates: int,
     nodes.
     """
     if n_gates < 1 or frequency <= 0:
-        raise ValueError("n_gates and frequency must be positive")
+        raise ModelDomainError("n_gates and frequency must be positive")
     if not 0 <= activity <= 1:
-        raise ValueError("activity must be in [0, 1]")
+        raise ModelDomainError("activity must be in [0, 1]")
     from ..devices.capacitance import inverter_input_capacitance
     width = 2.0 * node.feature_size
     if avg_load is None:

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..technology.node import TechnologyNode
 from ..interconnect.clocktree import max_wire_length_for_skew
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -54,7 +55,7 @@ def partition_die(node: TechnologyNode, die_edge: float = 10e-3,
     the shared border, plus a 2-cycle synchronizer latency.
     """
     if die_edge <= 0:
-        raise ValueError("die_edge must be positive")
+        raise ModelDomainError("die_edge must be positive")
     island_edge = max_wire_length_for_skew(
         node, frequency, skew_fraction, repeated=repeated_clock)
     islands_per_edge = max(int(math.ceil(die_edge / island_edge)), 1)
@@ -117,7 +118,7 @@ def single_domain_max_frequency(node: TechnologyNode,
     f_max = fraction * 2 / (r*c*die_edge^2).
     """
     if die_edge <= 0:
-        raise ValueError("die_edge must be positive")
+        raise ModelDomainError("die_edge must be positive")
     lo, hi = 1e6, 1e12
     for _ in range(60):
         mid = math.sqrt(lo * hi)

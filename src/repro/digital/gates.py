@@ -19,6 +19,7 @@ from ..devices.capacitance import (inverter_input_capacitance,
                                    inverter_self_load)
 from ..devices.leakage import gate_leakage_per_gate
 from .delay import DelayModel
+from ..robust.errors import ModelDomainError, RoadmapDataError
 
 
 # Logic functions map an input tuple to a bool.
@@ -87,7 +88,7 @@ class CellType:
     def evaluate(self, inputs: Sequence[bool]) -> bool:
         """Evaluate the cell logic."""
         if len(inputs) != self.n_inputs:
-            raise ValueError(
+            raise ModelDomainError(
                 f"{self.name} takes {self.n_inputs} inputs, "
                 f"got {len(inputs)}")
         return self.function(tuple(bool(v) for v in inputs))
@@ -121,7 +122,7 @@ class Cell:
 
     def __post_init__(self) -> None:
         if self.drive <= 0:
-            raise ValueError(f"drive must be positive, got {self.drive}")
+            raise ModelDomainError(f"drive must be positive, got {self.drive}")
 
     @property
     def nmos_width(self) -> float:
@@ -201,7 +202,7 @@ def make_cell(name: str, node: TechnologyNode, drive: float = 1.0) -> Cell:
     try:
         cell_type = CELL_TYPES[name]
     except KeyError:
-        raise KeyError(
+        raise RoadmapDataError(
             f"unknown cell {name!r}; available: "
             f"{', '.join(CELL_TYPES)}") from None
     return Cell(cell_type=cell_type, node=node, drive=drive)

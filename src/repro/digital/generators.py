@@ -17,6 +17,9 @@ import numpy as np
 from ..technology.node import TechnologyNode
 from .gates import CELL_TYPES
 from .netlist import Netlist
+from ..robust.rng import resolve_rng
+from ..robust.errors import ModelDomainError
+from ..robust.validate import validated
 
 
 def full_adder(netlist: Netlist, a: str, b: str, cin: str,
@@ -34,7 +37,7 @@ def ripple_adder(node: TechnologyNode, width: int = 8,
                  name: str = "adder") -> Netlist:
     """N-bit ripple-carry adder."""
     if width < 1:
-        raise ValueError("width must be >= 1")
+        raise ModelDomainError("width must be >= 1")
     netlist = Netlist(node, name)
     a_bits = netlist.add_inputs(f"a{i}" for i in range(width))
     b_bits = netlist.add_inputs(f"b{i}" for i in range(width))
@@ -51,7 +54,7 @@ def array_multiplier(node: TechnologyNode, width: int = 4,
                      name: str = "mult") -> Netlist:
     """N x N array multiplier (AND partial products + adder array)."""
     if width < 2:
-        raise ValueError("width must be >= 2")
+        raise ModelDomainError("width must be >= 2")
     netlist = Netlist(node, name)
     a = netlist.add_inputs(f"a{i}" for i in range(width))
     b = netlist.add_inputs(f"b{i}" for i in range(width))
@@ -82,7 +85,7 @@ def lfsr(node: TechnologyNode, width: int = 8,
          name: str = "lfsr") -> Netlist:
     """Fibonacci LFSR with DFF state (drives pseudo-random activity)."""
     if width < 2:
-        raise ValueError("width must be >= 2")
+        raise ModelDomainError("width must be >= 2")
     taps = list(taps) if taps is not None else [width - 1, width // 2]
     netlist = Netlist(node, name)
     enable = netlist.add_input("enable")
@@ -105,7 +108,8 @@ def lfsr(node: TechnologyNode, width: int = 8,
 def random_logic(node: TechnologyNode, n_gates: int = 100,
                  n_inputs: int = 8, seed: Optional[int] = None,
                  name: str = "rand",
-                 sequential_fraction: float = 0.0) -> Netlist:
+                 sequential_fraction: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> Netlist:
     """Random combinational (optionally lightly sequential) logic.
 
     Gates pick uniformly from the combinational library; each input of
@@ -113,8 +117,8 @@ def random_logic(node: TechnologyNode, n_gates: int = 100,
     the netlist acyclic by construction.
     """
     if n_gates < 1 or n_inputs < 1:
-        raise ValueError("n_gates and n_inputs must be positive")
-    rng = np.random.default_rng(seed)
+        raise ModelDomainError("n_gates and n_inputs must be positive")
+    rng = resolve_rng(rng, seed=seed)
     netlist = Netlist(node, name)
     nets = netlist.add_inputs(f"in{i}" for i in range(n_inputs))
     clock_enable = netlist.add_input("en")
@@ -134,15 +138,17 @@ def random_logic(node: TechnologyNode, n_gates: int = 100,
     return netlist
 
 
+@validated(adder_width="count", n_slices="count")
 def clocked_datapath(node: TechnologyNode, adder_width: int = 8,
                      n_slices: int = 4, seed: Optional[int] = None,
-                     name: str = "datapath") -> Netlist:
+                     name: str = "datapath",
+                     rng: Optional[np.random.Generator] = None) -> Netlist:
     """A registered datapath: LFSR sources feeding adder slices.
 
     This is the workload shape of the SWAN experiments: wide
     synchronous activity bursts at each clock edge.
     """
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(rng, seed=seed)
     netlist = Netlist(node, name)
     enable = netlist.add_input("en")
     # Pseudo-random source registers.
@@ -166,6 +172,7 @@ def clocked_datapath(node: TechnologyNode, adder_width: int = 8,
     return netlist
 
 
+@validated(target_gates="count", adder_width="count")
 def estimate_gates_for_target(target_gates: int, adder_width: int = 8
                               ) -> int:
     """Number of datapath slices giving ~``target_gates`` gates."""
@@ -183,7 +190,7 @@ def kogge_stone_adder(node: TechnologyNode, width: int = 8,
     Outputs are named ``s0..s{width-1}`` plus ``cout``.
     """
     if width < 2:
-        raise ValueError("width must be >= 2")
+        raise ModelDomainError("width must be >= 2")
     netlist = Netlist(node, name)
     a = netlist.add_inputs(f"a{i}" for i in range(width))
     b = netlist.add_inputs(f"b{i}" for i in range(width))
@@ -224,7 +231,7 @@ def decoder(node: TechnologyNode, n_select: int = 3,
             name: str = "decoder") -> Netlist:
     """N-to-2^N one-hot decoder (the SRAM wordline shape)."""
     if not 1 <= n_select <= 6:
-        raise ValueError("n_select must be in 1..6")
+        raise ModelDomainError("n_select must be in 1..6")
     netlist = Netlist(node, name)
     selects = netlist.add_inputs(f"sel{i}" for i in range(n_select))
     inverted = [netlist.add_gate("INV", [s], f"nsel{i}").output
@@ -245,7 +252,7 @@ def equality_comparator(node: TechnologyNode, width: int = 8,
                         name: str = "cmp") -> Netlist:
     """A == B comparator: XNOR bits reduced through an AND tree."""
     if width < 2:
-        raise ValueError("width must be >= 2")
+        raise ModelDomainError("width must be >= 2")
     netlist = Netlist(node, name)
     a = netlist.add_inputs(f"a{i}" for i in range(width))
     b = netlist.add_inputs(f"b{i}" for i in range(width))
@@ -276,7 +283,7 @@ def fir_filter(node: TechnologyNode, n_taps: int = 4,
     datapath-style synchronous activity.
     """
     if n_taps < 2 or data_width < 2:
-        raise ValueError("n_taps and data_width must be >= 2")
+        raise ModelDomainError("n_taps and data_width must be >= 2")
     netlist = Netlist(node, name)
     enable = netlist.add_input("en")
     zero = netlist.add_input("zero")

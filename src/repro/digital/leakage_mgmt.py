@@ -26,6 +26,7 @@ from ..devices.body_bias import vth_with_body_bias
 from ..devices.leakage import device_leakage
 from .netlist import Netlist
 from .timing import StaticTimingAnalyzer
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -56,7 +57,7 @@ def leakage_ratio_for_vth_delta(node: TechnologyNode,
                                 delta_vth: float) -> float:
     """Subthreshold-leakage reduction of a +delta_vth cell (eq. 1)."""
     if delta_vth < 0:
-        raise ValueError("delta_vth must be non-negative")
+        raise ModelDomainError("delta_vth must be non-negative")
     phi_t = thermal_voltage(node.temperature)
     return math.exp(delta_vth / (node.subthreshold_n * phi_t))
 
@@ -211,7 +212,7 @@ def insert_power_gating(netlist: Netlist,
     sleep leakage is the (high-V_T, stacked) switch's own.
     """
     if not 0 < max_ir_drop_fraction < 0.5:
-        raise ValueError("max_ir_drop_fraction must be in (0, 0.5)")
+        raise ModelDomainError("max_ir_drop_fraction must be in (0, 0.5)")
     node = netlist.node
     from ..devices.mosfet import Mosfet
     # Worst-case current: 5 % of gates draw their full drive current
@@ -224,7 +225,7 @@ def insert_power_gating(netlist: Netlist,
     # Switch in its linear region: R ~ 1/(mu Cox (W/L) Vov).
     vov = node.vdd - (node.vth + switch_vth_delta)
     if vov <= 0:
-        raise ValueError("switch V_T too high for this supply")
+        raise ModelDomainError("switch V_T too high for this supply")
     conductance_needed = peak_current / allowed_drop
     width = conductance_needed * node.feature_size / (
         node.mobility_n * node.cox * vov)

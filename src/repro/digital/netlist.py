@@ -16,6 +16,7 @@ import networkx as nx
 
 from ..technology.node import TechnologyNode
 from .gates import CELL_TYPES, Cell, make_cell
+from ..robust.errors import ModelDomainError
 
 
 @dataclass
@@ -75,9 +76,9 @@ class Netlist:
     def add_input(self, net: str) -> str:
         """Declare a primary input net."""
         if net in self._net_driver:
-            raise ValueError(f"net {net!r} is already driven")
+            raise ModelDomainError(f"net {net!r} is already driven")
         if net in self.primary_inputs:
-            raise ValueError(f"input {net!r} already declared")
+            raise ModelDomainError(f"input {net!r} already declared")
         self.primary_inputs.append(net)
         self._invalidate_caches()
         return net
@@ -101,15 +102,15 @@ class Netlist:
         if output is None:
             output = f"n{self._counter}"
         if output in self._net_driver or output in self.primary_inputs:
-            raise ValueError(f"net {output!r} is already driven")
+            raise ModelDomainError(f"net {output!r} is already driven")
         if instance_name is None:
             instance_name = f"u{self._counter}"
         if instance_name in self.instances:
-            raise ValueError(f"instance {instance_name!r} already exists")
+            raise ModelDomainError(f"instance {instance_name!r} already exists")
         self._counter += 1
         cell = make_cell(cell_name, self.node, drive)
         if len(inputs) != cell.cell_type.n_inputs:
-            raise ValueError(
+            raise ModelDomainError(
                 f"{cell_name} takes {cell.cell_type.n_inputs} inputs, "
                 f"got {len(inputs)}")
         instance = Instance(name=instance_name, cell=cell,
@@ -202,7 +203,7 @@ class Netlist:
             try:
                 self._topo_cache = list(nx.topological_sort(cut))
             except nx.NetworkXUnfeasible:
-                raise ValueError(
+                raise ModelDomainError(
                     "netlist contains a combinational loop") from None
         return [self.instances[name] for name in self._topo_cache]
 
@@ -219,7 +220,7 @@ class Netlist:
         missing = [net for net in self.primary_inputs
                    if net not in input_values]
         if missing:
-            raise ValueError(f"missing input values for {missing}")
+            raise ModelDomainError(f"missing input values for {missing}")
         values: Dict[str, bool] = {net: bool(v)
                                    for net, v in input_values.items()}
         state = state or {}

@@ -21,8 +21,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..robust.errors import ModelDomainError, SimulationBudgetError
 from ..robust.guards import SimulationBudget
-from ..robust.validate import check_count, check_positive
+from ..robust.validate import check_count, check_positive, validated
 from .netlist import Instance, Netlist
+from ..robust.rng import resolve_rng
 
 
 @dataclass(frozen=True, order=True)
@@ -236,15 +237,18 @@ class EventDrivenSimulator:
         )
 
 
+@validated(n_cycles="count")
 def random_stimulus(netlist: Netlist, n_cycles: int,
                     seed: Optional[int] = None,
-                    held_high: Iterable[str] = ()) -> Dict[str, List[bool]]:
+                    held_high: Iterable[str] = (),
+                    rng: Optional["np.random.Generator"] = None
+                    ) -> Dict[str, List[bool]]:
     """Uniform random per-cycle stimulus for every primary input.
 
     Inputs listed in ``held_high`` stay at 1 (e.g. enables).
     """
     import numpy as np
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(rng, seed=seed)
     held = set(held_high)
     stimulus: Dict[str, List[bool]] = {}
     for net in netlist.primary_inputs:

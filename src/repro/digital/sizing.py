@@ -25,6 +25,7 @@ from scipy.optimize import brentq
 from ..technology.node import TechnologyNode
 from ..devices.capacitance import (inverter_input_capacitance,
                                    inverter_self_load)
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -45,11 +46,11 @@ def stage_delay(node: TechnologyNode, width: float,
     external-load term but never removes the self-load floor.
     """
     if width <= 0 or external_load < 0:
-        raise ValueError("width must be positive, load non-negative")
+        raise ModelDomainError("width must be positive, load non-negative")
     vth = vth if vth is not None else node.vth
     vdd = node.vdd
     if vth >= vdd:
-        raise ValueError("vth must be below vdd")
+        raise ModelDomainError("vth must be below vdd")
     alpha = node.alpha_power
     drive = 0.5 * (node.mobility_n * node.cox * width
                    / node.feature_size) \
@@ -80,7 +81,7 @@ def size_for_delay(node: TechnologyNode, delay_target: float,
     minimum achievable delay.
     """
     if delay_target <= 0:
-        raise ValueError("delay_target must be positive")
+        raise ModelDomainError("delay_target must be positive")
     vth = vth if vth is not None else node.vth
     w_min = node.feature_size
     w_max = 1e5 * node.feature_size
@@ -89,7 +90,7 @@ def size_for_delay(node: TechnologyNode, delay_target: float,
         return stage_delay(node, width, external_load, vth) - delay_target
 
     if miss(w_max) > 0:
-        raise ValueError(
+        raise ModelDomainError(
             f"delay target {delay_target:.3e}s unreachable: self-load "
             f"limit is {stage_delay(node, w_max, external_load, vth):.3e}s")
     if miss(w_min) <= 0:

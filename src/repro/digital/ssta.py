@@ -23,6 +23,8 @@ from ..variability.statistical import VariationSpec
 from .netlist import Netlist
 from .timing import StaticTimingAnalyzer
 from .timing_compiled import CompiledTimingGraph
+from ..robust.rng import resolve_rng
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -46,7 +48,7 @@ class SstaResult:
     def quantile(self, q: float) -> float:
         """Delay quantile (e.g. 0.999 for timing sign-off) [s]."""
         if not 0.0 < q < 1.0:
-            raise ValueError("q must be in (0, 1)")
+            raise ModelDomainError("q must be in (0, 1)")
         return float(np.quantile(self.samples, q))
 
     def yield_at(self, clock_period: float) -> float:
@@ -81,7 +83,7 @@ class StatisticalTimingAnalyzer:
         self.netlist = netlist
         self.variation = variation
         self.wire_cap_per_fanout = wire_cap_per_fanout
-        self.rng = np.random.default_rng(seed)
+        self.rng = resolve_rng(seed=seed)
 
     def _intra_sigmas(self) -> Dict[str, float]:
         node = self.netlist.node
@@ -259,7 +261,7 @@ def spatially_correlated_ssta(netlist: Netlist,
     ys = np.array([0.05 * die + 0.9 * die * (index // n_cols) / n_cols
                    for index in range(n_gates)])
 
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed=seed)
     correlated_offsets = np.empty((n_samples, n_gates))
     independent_offsets = np.empty((n_samples, n_gates))
     total_sigma = math.sqrt(spatial_spec.white_sigma ** 2

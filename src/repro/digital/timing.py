@@ -11,6 +11,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .netlist import Instance, Netlist
+from ..robust.rng import resolve_rng
+from ..robust.validate import validated
 
 
 @dataclass(frozen=True)
@@ -106,6 +108,7 @@ class StaticTimingAnalyzer:
         )
 
 
+@validated(global_vth_offset="finite")
 def critical_delay(netlist: Netlist, global_vth_offset: float = 0.0,
                    vth_offsets: Optional[Dict[str, float]] = None) -> float:
     """Convenience wrapper: critical-path delay [s]."""
@@ -137,7 +140,7 @@ def delay_under_mismatch(netlist: Netlist, sigma_vth: float,
     from ..robust.validate import check_count, check_non_negative
     check_non_negative("sigma_vth", sigma_vth)
     n_samples = check_count("n_samples", n_samples)
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed=seed)
     names = list(netlist.instances)
     if vectorized:
         from .timing_compiled import CompiledTimingGraph

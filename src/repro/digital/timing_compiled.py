@@ -44,7 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..robust.errors import ModelDomainError
+from ..robust.errors import ModelDomainError, ModelIndexError
 from ..robust.validate import check_finite, check_non_negative
 from .delay import DelayModel
 from .netlist import Netlist
@@ -86,7 +86,7 @@ class BatchTimingResult:
         """Instance names on ``sample``'s critical path, start to end."""
         n = self.n_samples
         if not -n <= sample < n:
-            raise IndexError(f"sample {sample} out of range for {n}")
+            raise ModelIndexError(f"sample {sample} out of range for {n}")
         if not self.names_topo:
             return ()
         path: List[int] = []

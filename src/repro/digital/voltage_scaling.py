@@ -22,6 +22,7 @@ from ..technology.node import TechnologyNode
 from ..devices.capacitance import (inverter_input_capacitance,
                                    inverter_self_load)
 from ..devices.leakage import device_leakage
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -67,9 +68,9 @@ class EnergyDelayModel:
     def __init__(self, node: TechnologyNode, logic_depth: int = 30,
                  activity: float = 0.2, width: Optional[float] = None):
         if logic_depth < 1:
-            raise ValueError("logic_depth must be >= 1")
+            raise ModelDomainError("logic_depth must be >= 1")
         if not 0 < activity <= 1:
-            raise ValueError("activity must be in (0, 1]")
+            raise ModelDomainError("activity must be in (0, 1]")
         self.node = node
         self.logic_depth = logic_depth
         self.activity = activity
@@ -81,7 +82,7 @@ class EnergyDelayModel:
     def gate_delay(self, vdd: float, vth: float) -> float:
         """Alpha-power gate delay [s] at the operating point."""
         if vdd <= 0:
-            raise ValueError("vdd must be positive")
+            raise ModelDomainError("vdd must be positive")
         if vdd <= vth + 0.05:
             return math.inf   # no usable overdrive
         node = self.node
@@ -148,7 +149,7 @@ class EnergyDelayModel:
                         < best.total_energy:
                     best = point
         if best is None:
-            raise ValueError("no feasible operating point in range "
+            raise ModelDomainError("no feasible operating point in range "
                              "(delay_limit too tight?)")
         return best
 

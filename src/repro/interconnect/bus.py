@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.constants import EPSILON_0
 from ..technology.node import TechnologyNode
 from .wire import WireGeometry, capacitance_per_length, wire_delay
+from ..robust.errors import ModelDomainError
 
 
 def coupling_ratio(geom: WireGeometry) -> float:
@@ -39,7 +40,7 @@ def miller_factor(left: int, right: int) -> float:
     try:
         return factors[left] + factors[right]
     except KeyError:
-        raise ValueError("neighbour activity must be -1, 0 or +1")
+        raise ModelDomainError("neighbour activity must be -1, 0 or +1")
 
 
 def pattern_delay(geom: WireGeometry, length: float,
@@ -104,7 +105,7 @@ def shielding_cost(node: TechnologyNode, n_bits: int = 32,
       patterns on adjacent wires (~1.3x the bits, worst Miller = 1).
     """
     if n_bits < 2:
-        raise ValueError("n_bits must be >= 2")
+        raise ModelDomainError("n_bits must be >= 2")
     geom = WireGeometry.for_node(node, layer)
     plain = pattern_delay(geom, length, -1, -1)
     shielded = pattern_delay(geom, length, 0, 0)

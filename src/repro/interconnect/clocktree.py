@@ -18,14 +18,15 @@ from ..technology.node import TechnologyNode
 from .elmore import RCNode, RCTree
 from .repeaters import DriverModel, insert_repeaters
 from .wire import WireGeometry, capacitance_per_length, resistance_per_length
+from ..robust.errors import ModelDomainError
 
 
 def skew_budget(frequency: float, fraction: float = 0.2) -> float:
     """Allowed skew [s]: ``fraction`` of the clock period."""
     if frequency <= 0:
-        raise ValueError(f"frequency must be positive, got {frequency}")
+        raise ModelDomainError(f"frequency must be positive, got {frequency}")
     if not 0 < fraction <= 1:
-        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        raise ModelDomainError(f"fraction must be in (0, 1], got {fraction}")
     return fraction / frequency
 
 
@@ -101,9 +102,9 @@ def build_h_tree(node: TechnologyNode, span: float, levels: int,
     the analysis exposes how load mismatch converts into timing skew.
     """
     if levels < 1:
-        raise ValueError("levels must be >= 1")
+        raise ModelDomainError("levels must be >= 1")
     if span <= 0:
-        raise ValueError("span must be positive")
+        raise ModelDomainError("span must be positive")
     geom = WireGeometry.for_node(node, layer)
     r = resistance_per_length(geom)
     c = capacitance_per_length(geom)

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from ..robust.validate import check_count, check_non_negative, validated
 from .wire import WireGeometry, capacitance_per_length, resistance_per_length
+from ..robust.errors import RoadmapDataError
 
 
 @dataclass
@@ -67,7 +68,7 @@ class RCTree:
         for node in self.root.iter_nodes():
             if node.name == name:
                 return node
-        raise KeyError(f"no RC node named {name!r}")
+        raise RoadmapDataError(f"no RC node named {name!r}")
 
     def _path_to(self, name: str) -> List[RCNode]:
         """Return the node path root -> target."""
@@ -83,7 +84,7 @@ class RCTree:
 
         path = search(self.root, [])
         if path is None:
-            raise KeyError(f"no RC node named {name!r}")
+            raise RoadmapDataError(f"no RC node named {name!r}")
         return path
 
     def elmore_delay(self, sink: str) -> float:

@@ -18,6 +18,7 @@ from ..core.constants import EPSILON_0
 from ..technology.node import TechnologyNode
 from .wire import (WireGeometry, capacitance_per_length,
                    resistance_per_length)
+from ..robust.errors import ModelDomainError
 
 #: Vacuum permeability [H/m].
 MU_0 = 4.0e-7 * math.pi
@@ -35,7 +36,7 @@ def self_inductance_per_length(geom: WireGeometry,
     if ground_distance is None:
         ground_distance = 10.0 * geom.pitch
     if ground_distance <= 0:
-        raise ValueError("ground_distance must be positive")
+        raise ModelDomainError("ground_distance must be positive")
     w_eff = geom.width + geom.thickness
     ratio = max(2.0 * math.pi * ground_distance / w_eff, 1.1)
     return MU_0 / (2.0 * math.pi) * (math.log(ratio) + 0.25)
@@ -55,7 +56,7 @@ def mutual_inductance_per_length(geom: WireGeometry,
     if ground_distance is None:
         ground_distance = 10.0 * geom.pitch
     if separation <= 0 or ground_distance <= 0:
-        raise ValueError("separation and ground_distance must be "
+        raise ModelDomainError("separation and ground_distance must be "
                          "positive")
     return MU_0 / (4.0 * math.pi) * math.log(
         1.0 + (2.0 * ground_distance / separation) ** 2)
@@ -108,9 +109,9 @@ def rlc_character(geom: WireGeometry, length: float,
     zeta = (R_drv + R_wire/2) / (2 * sqrt(L/C)).
     """
     if length <= 0:
-        raise ValueError("length must be positive")
+        raise ModelDomainError("length must be positive")
     if driver_resistance < 0:
-        raise ValueError("driver_resistance must be non-negative")
+        raise ModelDomainError("driver_resistance must be non-negative")
     r = resistance_per_length(geom) * length
     c = capacitance_per_length(geom) * length
     l = self_inductance_per_length(geom, ground_distance) * length
@@ -149,7 +150,7 @@ def inductive_crosstalk_fraction(geom: WireGeometry, length: float,
     inserted.
     """
     if rise_time <= 0 or vdd <= 0:
-        raise ValueError("rise_time and vdd must be positive")
+        raise ModelDomainError("rise_time and vdd must be positive")
     k_l = (mutual_inductance_per_length(geom, separation)
            / self_inductance_per_length(geom))
     l_total = self_inductance_per_length(geom) * length

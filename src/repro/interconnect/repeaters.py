@@ -16,6 +16,7 @@ from ..technology.node import TechnologyNode
 from ..devices.capacitance import (inverter_input_capacitance,
                                    inverter_self_load)
 from .wire import WireGeometry, capacitance_per_length, resistance_per_length
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -78,7 +79,7 @@ def optimal_repeater_count(driver: DriverModel, geom: WireGeometry,
     c_wire = capacitance_per_length(geom) * length
     denom = 0.7 * driver.resistance_unit * driver.capacitance_unit
     if denom <= 0:
-        raise ValueError("driver model must have positive RC product")
+        raise ModelDomainError("driver model must have positive RC product")
     return math.sqrt(0.4 * r_wire * c_wire / denom)
 
 
@@ -100,7 +101,7 @@ def insert_repeaters(node: TechnologyNode, length: float,
     over k segments) and the unrepeated eq.-3 delay for comparison.
     """
     if length <= 0:
-        raise ValueError("length must be positive")
+        raise ModelDomainError("length must be positive")
     geom = WireGeometry.for_node(node, layer)
     driver = driver or DriverModel.for_node(node)
     k = max(int(round(optimal_repeater_count(driver, geom, length))), 1)

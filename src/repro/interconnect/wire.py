@@ -86,7 +86,7 @@ class WireGeometry:
         sidewall coupling grow with scaling (section 2.3).
         """
         if layer < 1 or layer > node.metal_layers:
-            raise ValueError(
+            raise ModelDomainError(
                 f"layer must be in 1..{node.metal_layers}, got {layer}")
         if aspect_ratio is None:
             feature_nm = node.feature_size * 1e9

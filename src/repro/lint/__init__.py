@@ -1,0 +1,40 @@
+"""repro.lint -- AST-based model-correctness linter.
+
+Self-contained static analysis (stdlib ``ast``/``tokenize`` plus the
+``repro.robust.errors`` taxonomy, no third-party dependencies)
+enforcing the codebase's cross-cutting invariants:
+
+========  ======================  =========================================
+code      name                    invariant
+========  ======================  =========================================
+``R001``  rng-discipline          no hidden global RNG state; streams are
+                                  injected or seeded via
+                                  :func:`repro.robust.rng.resolve_rng`
+``R002``  validation-boundary     public numeric model APIs reach
+                                  ``repro.robust`` validation
+``R003``  exception-hygiene       no bare except; raises use the
+                                  ``repro.robust.errors`` taxonomy
+``R004``  fault-registry-drift    fault-sweep registrations track the
+                                  live API surface in both directions
+``R005``  vectorization-safety    no scalar ``math.*`` on array-annotated
+                                  parameters
+========  ======================  =========================================
+
+Run ``python -m repro.lint --list-rules`` for the live catalog, and see
+``docs/architecture.md`` for the waiver policy.
+"""
+
+from .engine import discover_files, run_lint
+from .findings import Finding, LintReport
+from .rules import Rule, all_rules, get_rules, register
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "discover_files",
+    "get_rules",
+    "register",
+    "run_lint",
+]

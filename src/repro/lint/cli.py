@@ -1,0 +1,93 @@
+"""Command-line entry point: ``python -m repro.lint [paths]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import iter_rule_docs, run_lint
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=("AST-based model-correctness linter for the repro "
+                     "codebase (RNG discipline, validation coverage, "
+                     "exception hygiene, fault-registry drift, "
+                     "vectorization safety)."))
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (e.g. R001,R003)")
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    parser.add_argument(
+        "--show-waived", action="store_true",
+        help="also print findings suppressed by documented waivers")
+    return parser
+
+
+def _codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in iter_rule_docs():
+            print(f"{rule.code} {rule.name} [{rule.scope}]")
+            print(f"    {rule.description}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        report = run_lint([Path(p) for p in args.paths],
+                          select=_codes(args.select),
+                          ignore=_codes(args.ignore))
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return report.exit_code
+
+    for finding in report.findings:
+        print(finding.format())
+    if args.show_waived:
+        for finding in report.waived:
+            print(f"{finding.format()} [waived]")
+    summary = (f"{len(report.findings)} finding(s), "
+               f"{len(report.waived)} waived, "
+               f"{report.n_files} file(s), "
+               f"rules: {', '.join(report.rules)}")
+    print(("clean: " if report.clean else "") + summary)
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

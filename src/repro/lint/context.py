@@ -1,0 +1,142 @@
+"""Per-file lint context: parsed AST, module name, inline waivers.
+
+Waiver grammar (checked by the engine, not by individual rules)::
+
+    x = risky()  # replint: disable=R001 -- why this is fine
+    # replint: disable=R003,R005 -- standalone: applies to next line
+    # replint: disable-file=R002 -- applies to the whole file
+
+A waiver **must** carry a reason after the code list; a bare
+``replint: disable=R001`` is itself reported (code ``R000``) and
+cannot be waived away.  The separator between codes and reason is any
+run of ``-``, an em-dash, or a colon.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+_WAIVER_RE = re.compile(
+    r"#\s*replint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+?)\s*"
+    r"(?:(?:--+|—|–|:)\s*(?P<reason>.*\S))?\s*$")
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed ``replint: disable`` comment."""
+
+    line: int                   # line the waiver comment sits on
+    codes: Tuple[str, ...]
+    reason: str
+    file_wide: bool = False
+
+    @property
+    def documented(self) -> bool:
+        return bool(self.reason)
+
+
+@dataclass
+class ModuleInfo:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    module: str                 # dotted name, e.g. "repro.variability.ler"
+    source: str
+    tree: ast.Module
+    #: effective waived line -> waiver (standalone comments shift to
+    #: the next line); file-wide waivers live in ``file_waivers``.
+    line_waivers: Dict[int, List[Waiver]] = field(default_factory=dict)
+    file_waivers: List[Waiver] = field(default_factory=list)
+    #: waivers missing a reason (reported as R000 by the engine).
+    undocumented: List[Waiver] = field(default_factory=list)
+
+    def waived_codes_for_line(self, line: int) -> Set[str]:
+        codes: Set[str] = set()
+        for waiver in self.file_waivers:
+            if waiver.documented:
+                codes.update(waiver.codes)
+        for waiver in self.line_waivers.get(line, []):
+            if waiver.documented:
+                codes.update(waiver.codes)
+        return codes
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, anchored at the last ``repro`` path part.
+
+    Files outside a ``repro`` tree (test fixtures) use their stem, so
+    package-scoped rules simply never match them unless the fixture
+    recreates the package layout.
+    """
+    parts = list(path.with_suffix("").parts)
+    anchor = None
+    for index, part in enumerate(parts):
+        if part == "repro":
+            anchor = index
+    if anchor is None:
+        return parts[-1]
+    dotted = parts[anchor:]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def _parse_waivers(source: str) -> List[Waiver]:
+    """Extract waiver comments via the tokenizer (comment-exact)."""
+    waivers: List[Waiver] = []
+    import io
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _WAIVER_RE.search(token.string)
+            if not match:
+                continue
+            codes = tuple(sorted({c.strip().upper()
+                                  for c in match.group("codes").split(",")
+                                  if c.strip()}))
+            if not codes:
+                continue
+            waivers.append(Waiver(
+                line=token.start[0],
+                codes=codes,
+                reason=(match.group("reason") or "").strip(),
+                file_wide=match.group("kind") == "disable-file"))
+    except tokenize.TokenError:  # pragma: no cover - unparsable files
+        pass                     # are reported as E999 by the loader
+    return waivers
+
+
+def load_module(path: Path) -> Tuple[Optional[ModuleInfo], Optional[str]]:
+    """Parse one file; returns (info, None) or (None, error message)."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        return None, f"cannot read: {error}"
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return None, f"syntax error: {error.msg} (line {error.lineno})"
+
+    info = ModuleInfo(path=path, module=module_name_for(path),
+                      source=source, tree=tree)
+    lines = source.splitlines()
+    for waiver in _parse_waivers(source):
+        if not waiver.documented:
+            info.undocumented.append(waiver)
+            continue
+        if waiver.file_wide:
+            info.file_waivers.append(waiver)
+            continue
+        text = lines[waiver.line - 1] if waiver.line <= len(lines) else ""
+        standalone = text.lstrip().startswith("#")
+        target = waiver.line + 1 if standalone else waiver.line
+        info.line_waivers.setdefault(target, []).append(waiver)
+    return info, None

@@ -1,0 +1,100 @@
+"""Lint engine: file discovery, rule dispatch, waiver filtering.
+
+The engine (not individual rules) owns the waiver mechanics: rules
+yield every violation they see; findings whose line carries a
+documented ``# replint: disable=CODE -- reason`` waiver move to the
+report's ``waived`` list.  Waivers *without* a reason are themselves
+violations (``R000``) and cannot be waived.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .context import ModuleInfo, load_module
+from .findings import Finding, LintReport
+from .rules import Rule, get_rules
+
+#: Directories never worth descending into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "build", "dist",
+              ".mypy_cache", ".pytest_cache", "node_modules"}
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                candidate for candidate in sorted(path.rglob("*.py"))
+                if not _SKIP_DIRS.intersection(candidate.parts))
+        elif path.suffix == ".py":
+            files.append(path)
+    seen = set()
+    unique = []
+    for path in files:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def run_lint(paths: Sequence[Path],
+             select: Optional[Sequence[str]] = None,
+             ignore: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint ``paths`` and return the aggregated report."""
+    rules = get_rules(select=select, ignore=ignore)
+    files = discover_files([Path(p) for p in paths])
+
+    infos: List[ModuleInfo] = []
+    findings: List[Finding] = []
+    for path in files:
+        info, error = load_module(path)
+        if error is not None:
+            findings.append(Finding(
+                path=str(path), line=1, col=0, code="E999",
+                message=error))
+            continue
+        infos.append(info)
+
+    # R000: undocumented waivers are findings in their own right and
+    # deliberately bypass the waiver filter below.
+    unwaivable: List[Finding] = []
+    for info in infos:
+        for waiver in info.undocumented:
+            unwaivable.append(Finding(
+                path=str(info.path), line=waiver.line, col=0,
+                code="R000",
+                message=("waiver without a reason -- write "
+                         "'# replint: disable="
+                         f"{','.join(waiver.codes)} -- <why>'")))
+
+    for rule in rules:
+        if rule.scope == "project":
+            findings.extend(rule.check_project(infos))
+        else:
+            for info in infos:
+                findings.extend(rule.check_module(info))
+
+    info_by_path: Dict[str, ModuleInfo] = {
+        str(info.path): info for info in infos}
+    active: List[Finding] = []
+    waived: List[Finding] = []
+    for finding in findings:
+        info = info_by_path.get(finding.path)
+        if info is not None and finding.code in \
+                info.waived_codes_for_line(finding.line):
+            waived.append(finding)
+        else:
+            active.append(finding)
+    active.extend(unwaivable)
+
+    return LintReport(findings=sorted(active), waived=sorted(waived),
+                      n_files=len(files),
+                      rules=[rule.code for rule in rules])
+
+
+def iter_rule_docs() -> Iterable[Rule]:
+    """All registered rules, for ``--list-rules``."""
+    return get_rules()

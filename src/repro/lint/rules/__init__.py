@@ -1,0 +1,71 @@
+"""Rule base class and registry for ``repro.lint``.
+
+A rule is a small stateless object with a ``code`` (``R0xx``), a
+``name`` and either a per-module ``check_module(info)`` hook or, for
+cross-file invariants, a ``check_project(infos)`` hook (``scope =
+"project"``).  Rules yield :class:`~repro.lint.findings.Finding`
+objects; waiver filtering happens centrally in the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from ..context import ModuleInfo
+from ..findings import Finding
+from ...robust.errors import ModelDomainError, RoadmapDataError
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    code: str = "R000"
+    name: str = "base"
+    description: str = ""
+    #: "module" rules see one file at a time; "project" rules see all.
+    scope: str = "module"
+
+    def check_module(self, info: ModuleInfo) -> Iterable[Finding]:
+        return ()
+
+    def check_project(
+            self, infos: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        return ()
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.code in _REGISTRY:
+        raise ModelDomainError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    _load_builtin_rules()
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def get_rules(select: Optional[Sequence[str]] = None,
+              ignore: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate the registered rules, honouring --select/--ignore."""
+    rules = all_rules()
+    if select:
+        wanted = {code.upper() for code in select}
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            raise RoadmapDataError(
+                f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.code in wanted]
+    if ignore:
+        dropped = {code.upper() for code in ignore}
+        rules = [rule for rule in rules if rule.code not in dropped]
+    return rules
+
+
+def _load_builtin_rules() -> None:
+    """Import the rule modules exactly once (registration side effect)."""
+    from . import rng, validation, exceptions, registry, vectorization  # noqa: F401

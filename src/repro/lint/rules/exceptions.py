@@ -1,0 +1,106 @@
+"""R003 exception hygiene.
+
+Model code communicates failures through the typed taxonomy in
+``repro.robust.errors`` so callers can discriminate domain errors from
+convergence failures from data gaps.  This rule flags
+
+* ``raise ValueError(...)`` / other builtin exceptions (use the
+  taxonomy: they still *are* ValueError/KeyError/... by inheritance),
+* bare ``except:`` clauses (swallow KeyboardInterrupt/SystemExit).
+
+Re-raises (``raise`` with no operand, ``raise err from ...`` of a
+caught name) and ``NotImplementedError`` (abstract-hook idiom) are
+allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from ..astutil import dotted_name
+from ..context import ModuleInfo
+from ..findings import Finding
+from . import Rule, register
+
+#: Builtin exceptions whose direct raise is a taxonomy violation.
+_BUILTIN_BANNED = {
+    "Exception", "BaseException", "ValueError", "TypeError", "KeyError",
+    "IndexError", "RuntimeError", "ArithmeticError", "ZeroDivisionError",
+    "OverflowError", "FloatingPointError", "LookupError", "OSError",
+    "IOError", "AssertionError", "StopIteration", "AttributeError",
+    "NameError",
+}
+
+#: Always-acceptable raises.
+_ALLOWED = {"NotImplementedError", "KeyboardInterrupt", "SystemExit"}
+
+_SUGGESTION = {
+    "ValueError": "ModelDomainError",
+    "TypeError": "ModelDomainError",
+    "KeyError": "RoadmapDataError",
+    "LookupError": "RoadmapDataError",
+    "IndexError": "ModelIndexError",
+    "RuntimeError": "ConvergenceError",
+    "ZeroDivisionError": "ModelDomainError",
+    "ArithmeticError": "ModelDomainError",
+    "FloatingPointError": "ModelDomainError",
+}
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    code = "R003"
+    name = "exception-hygiene"
+    description = (
+        "No bare except; raise through the repro.robust.errors "
+        "taxonomy instead of builtin exceptions.")
+
+    def check_module(self, info: ModuleInfo) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        caught_names = _caught_exception_names(info.tree)
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                findings.append(Finding(
+                    path=str(info.path), line=node.lineno,
+                    col=node.col_offset, code=self.code,
+                    message=("bare 'except:' also catches "
+                             "KeyboardInterrupt/SystemExit -- name the "
+                             "exception(s) or use 'except Exception'")))
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                findings.extend(
+                    self._check_raise(info, node, caught_names))
+        return findings
+
+    def _check_raise(self, info: ModuleInfo, node: ast.Raise,
+                     caught_names: Set[str]) -> Iterable[Finding]:
+        exc = node.exc
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        name = dotted_name(target)
+        if name is None:
+            return
+        bare = name.split(".")[-1]
+        if bare in _ALLOWED:
+            return
+        if not isinstance(exc, ast.Call) and bare in caught_names:
+            return                      # ``except X as err: ... raise err``
+        if bare in _BUILTIN_BANNED:
+            hint = _SUGGESTION.get(bare)
+            suggestion = f" (closest taxonomy type: {hint})" if hint \
+                else ""
+            yield Finding(
+                path=str(info.path), line=node.lineno,
+                col=node.col_offset, code=self.code,
+                message=(
+                    f"raise {bare} bypasses the repro.robust.errors "
+                    f"taxonomy{suggestion}; taxonomy types still "
+                    "subclass the builtin, so callers keep working"))
+
+
+def _caught_exception_names(tree: ast.Module) -> Set[str]:
+    """Names bound by ``except ... as name`` anywhere in the module."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    return names

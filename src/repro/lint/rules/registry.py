@@ -1,0 +1,198 @@
+"""R004 fault-registry drift.
+
+``repro.robust.faults.default_registry()`` enumerates ``ApiSpec``
+entries naming public model APIs ("devices.mosfet.Mosfet.ids").  Two
+ways this decays silently:
+
+* **stale**: a registered name no longer resolves to a symbol (the API
+  was renamed/removed but the spec stayed), so the fault sweep tests a
+  ghost;
+* **missing**: a new module-level function hardened with
+  ``@validated(..., _result_finite=True)`` (i.e. one that promises
+  finite numerics -- exactly the contract the fault sweep perturbs) is
+  never registered, so coverage quietly erodes.
+
+This replaces the hand-bumped ``n_apis >= N`` CI floor with a check
+that stays correct as APIs come and go.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..astutil import dotted_name
+from ..context import ModuleInfo
+from ..findings import Finding
+from . import Rule, register
+from .validation import GUARDED_PACKAGES
+
+_FAULTS_MODULE = "repro.robust.faults"
+
+
+@register
+class FaultRegistryDriftRule(Rule):
+    code = "R004"
+    name = "fault-registry-drift"
+    description = (
+        "repro.robust.faults registrations must resolve to live "
+        "symbols, and finite-result @validated model functions must "
+        "be registered for the fault sweep.")
+    scope = "project"
+
+    def check_project(
+            self, infos: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        faults_info = next((info for info in infos
+                            if info.module == _FAULTS_MODULE), None)
+        if faults_info is None:
+            return []                   # partial lint run: nothing to say
+
+        registered = _registered_names(faults_info)
+        symbols = _SymbolTable(infos)
+        findings: List[Finding] = []
+
+        for name, line, col in registered:
+            if not symbols.resolves(name):
+                findings.append(Finding(
+                    path=str(faults_info.path), line=line, col=col,
+                    code=self.code,
+                    message=(f"registered API '{name}' does not resolve "
+                             "to any module function, class or method "
+                             "-- stale fault-registry entry")))
+
+        registered_names = {name for name, _, _ in registered}
+        for info in infos:
+            if not _guarded(info.module):
+                continue
+            for fn in info.tree.body:
+                if not isinstance(fn, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    continue
+                if fn.name.startswith("_") \
+                        or not _finite_validated(fn):
+                    continue
+                short = f"{_strip_repro(info.module)}.{fn.name}"
+                if short not in registered_names:
+                    findings.append(Finding(
+                        path=str(info.path), line=fn.lineno,
+                        col=fn.col_offset, code=self.code,
+                        message=(
+                            f"'{fn.name}' promises finite results "
+                            "(@validated _result_finite=True) but is "
+                            "not registered in repro.robust.faults."
+                            "default_registry -- fault-sweep coverage "
+                            "gap")))
+        return findings
+
+
+def _guarded(module: str) -> bool:
+    return any(module == pkg or module.startswith(pkg + ".")
+               for pkg in GUARDED_PACKAGES)
+
+
+def _strip_repro(module: str) -> str:
+    return module[len("repro."):] if module.startswith("repro.") \
+        else module
+
+
+def _finite_validated(fn: ast.AST) -> bool:
+    for decorator in fn.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = dotted_name(decorator.func)
+        if not name or name.split(".")[-1] != "validated":
+            continue
+        for keyword in decorator.keywords:
+            if keyword.arg == "_result_finite" \
+                    and isinstance(keyword.value, ast.Constant) \
+                    and keyword.value.value is True:
+                return True
+    return False
+
+
+def _registered_names(
+        faults_info: ModuleInfo) -> List[Tuple[str, int, int]]:
+    """(name, line, col) of every ApiSpec(...) literal name."""
+    names: List[Tuple[str, int, int]] = []
+    for node in ast.walk(faults_info.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted_name(node.func)
+        if not callee or callee.split(".")[-1] != "ApiSpec":
+            continue
+        name_node: Optional[ast.AST] = node.args[0] if node.args else None
+        for keyword in node.keywords:
+            if keyword.arg == "name":
+                name_node = keyword.value
+        if isinstance(name_node, ast.Constant) \
+                and isinstance(name_node.value, str):
+            names.append((name_node.value, name_node.lineno,
+                          name_node.col_offset))
+    return names
+
+
+class _SymbolTable:
+    """Module-level functions, classes and methods across the lint set."""
+
+    def __init__(self, infos: Sequence[ModuleInfo]):
+        self.functions: Set[str] = set()        # "repro.mod.fn"
+        self.classes: Set[str] = set()          # "repro.mod.Cls"
+        self.methods: Set[str] = set()          # "repro.mod.Cls.meth"
+        self.module_methods: Dict[str, Set[str]] = {}  # mod -> meths
+        self.modules: Set[str] = set()
+        for info in infos:
+            self.modules.add(info.module)
+            for node in info.tree.body:
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    self.functions.add(f"{info.module}.{node.name}")
+                elif isinstance(node, ast.ClassDef):
+                    self.classes.add(f"{info.module}.{node.name}")
+                    for item in node.body:
+                        if isinstance(item, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef)):
+                            self.methods.add(
+                                f"{info.module}.{node.name}.{item.name}")
+                            self.module_methods.setdefault(
+                                info.module, set()).add(item.name)
+                        elif _is_dataclass_field(item):
+                            # dataclass fields are attribute APIs too
+                            self.methods.add(
+                                f"{info.module}.{node.name}."
+                                f"{item.target.id}")
+                            self.module_methods.setdefault(
+                                info.module, set()).add(item.target.id)
+
+    def resolves(self, registry_name: str) -> bool:
+        """Can 'devices.mosfet.Mosfet.ids' be found in the tree?
+
+        Tries every split of the dotted name into a known module prefix
+        plus a symbol path; the symbol path may be a function, a class,
+        ``Class.method``, or a bare method name of *any* class in the
+        module (registry names routinely skip the class, e.g.
+        ``technology.node.with_overrides``).
+        """
+        full = registry_name if registry_name.startswith("repro.") \
+            else f"repro.{registry_name}"
+        parts = full.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            if module not in self.modules:
+                continue
+            symbol = parts[cut:]
+            if len(symbol) == 1:
+                name = symbol[0]
+                if f"{module}.{name}" in self.functions \
+                        or f"{module}.{name}" in self.classes \
+                        or name in self.module_methods.get(module, ()):
+                    return True
+            elif len(symbol) == 2:
+                qual = f"{module}.{symbol[0]}.{symbol[1]}"
+                if qual in self.methods:
+                    return True
+        return False
+
+
+def _is_dataclass_field(node: ast.AST) -> bool:
+    return isinstance(node, ast.AnnAssign) \
+        and isinstance(node.target, ast.Name)

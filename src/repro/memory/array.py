@@ -10,6 +10,7 @@ from ..technology.node import TechnologyNode
 from ..interconnect.wire import WireGeometry, capacitance_per_length, \
     resistance_per_length
 from .sram import SramCell, SramCellDesign, cell_failure_probability
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -22,9 +23,9 @@ class ArraySpec:
 
     def __post_init__(self) -> None:
         if self.n_rows < 1 or self.n_cols < 1 or self.column_mux < 1:
-            raise ValueError("array dimensions must be positive")
+            raise ModelDomainError("array dimensions must be positive")
         if self.n_cols % self.column_mux:
-            raise ValueError("n_cols must be divisible by column_mux")
+            raise ModelDomainError("n_cols must be divisible by column_mux")
 
     @property
     def capacity_bits(self) -> int:
@@ -89,7 +90,7 @@ class SramArray:
         device's saturation current).
         """
         if swing <= 0:
-            raise ValueError("swing must be positive")
+            raise ModelDomainError("swing must be positive")
         read_current = self.cell.ax_l.ids(self.node.vdd, self.node.vdd / 2)
         if read_current <= 0:
             return float("inf")

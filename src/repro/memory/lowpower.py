@@ -17,6 +17,7 @@ from ..core.constants import thermal_voltage
 from ..technology.node import TechnologyNode
 from ..devices.body_bias import vth_with_body_bias
 from .sram import SramCell, SramCellDesign
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -123,7 +124,7 @@ def power_gate_array(node: TechnologyNode,
     flushable arrays (caches with clean lines).
     """
     if not 0 < switch_leakage_fraction < 1:
-        raise ValueError("switch_leakage_fraction must be in (0, 1)")
+        raise ModelDomainError("switch_leakage_fraction must be in (0, 1)")
     active_cell = SramCell(node, design)
     active = active_cell.leakage_current() * node.vdd
     return RetentionResult(

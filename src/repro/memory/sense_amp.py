@@ -18,6 +18,7 @@ from ..technology.node import TechnologyNode
 from ..variability.pelgrom import sigma_delta_vth
 from .array import ArraySpec, SramArray
 from .sram import SramCellDesign
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -39,7 +40,7 @@ class SenseAmp:
     def __post_init__(self) -> None:
         if self.input_width < self.node.feature_size \
                 or self.input_length < self.node.feature_size:
-            raise ValueError("input pair below feature size")
+            raise ModelDomainError("input pair below feature size")
 
     @property
     def offset_sigma(self) -> float:
@@ -54,14 +55,14 @@ class SenseAmp:
         working confidence level.
         """
         if sigma_level <= 0:
-            raise ValueError("sigma_level must be positive")
+            raise ModelDomainError("sigma_level must be positive")
         return sigma_level * self.offset_sigma
 
     def sense_yield(self, swing: float) -> float:
         """Probability one sense fires correctly at ``swing`` [V]."""
         from scipy.stats import norm
         if swing < 0:
-            raise ValueError("swing must be non-negative")
+            raise ModelDomainError("swing must be non-negative")
         return float(norm.cdf(swing / self.offset_sigma))
 
     @classmethod

@@ -23,6 +23,8 @@ from scipy.optimize import brentq
 from ..technology.node import TechnologyNode
 from ..devices.mosfet import DeviceType, Mosfet
 from ..devices.leakage import device_leakage
+from ..robust.rng import resolve_rng
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -41,7 +43,7 @@ class SramCellDesign:
     def __post_init__(self) -> None:
         for name in ("pull_down_ratio", "access_ratio", "pull_up_ratio"):
             if getattr(self, name) <= 0:
-                raise ValueError(f"{name} must be positive")
+                raise ModelDomainError(f"{name} must be positive")
 
     @property
     def cell_ratio(self) -> float:
@@ -78,7 +80,7 @@ class SramCell:
         self.vth_offsets = dict(vth_offsets or {})
         unknown = set(self.vth_offsets) - set(self._DEVICES)
         if unknown:
-            raise ValueError(f"unknown devices in vth_offsets: {unknown}")
+            raise ModelDomainError(f"unknown devices in vth_offsets: {unknown}")
         length = node.feature_size
 
         def offset(key: str) -> float:
@@ -283,7 +285,7 @@ def snm_under_mismatch(node: TechnologyNode,
                        read_condition: bool = True,
                        seed: Optional[int] = None) -> np.ndarray:
     """MC distribution of (read) SNM under Pelgrom V_T mismatch [V]."""
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed=seed)
     length = node.feature_size
     widths = {
         "pd_l": design.pull_down_ratio * length,

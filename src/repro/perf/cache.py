@@ -19,6 +19,7 @@ import functools
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Optional, TypeVar
+from ..robust.errors import ModelDomainError
 
 F = TypeVar("F", bound=Callable[..., Any])
 
@@ -54,7 +55,7 @@ class KeyedCache:
 
     def __init__(self, name: str, maxsize: Optional[int] = None):
         if maxsize is not None and maxsize < 1:
-            raise ValueError("maxsize must be positive or None")
+            raise ModelDomainError("maxsize must be positive or None")
         self.name = name
         self.maxsize = maxsize
         self._data: Dict[Hashable, Any] = {}
@@ -63,7 +64,7 @@ class KeyedCache:
         self._misses = 0
         with _REGISTRY_LOCK:
             if name in _REGISTRY:
-                raise ValueError(f"cache {name!r} already registered")
+                raise ModelDomainError(f"cache {name!r} already registered")
             _REGISTRY[name] = self
 
     def get_or_compute(self, key: Hashable,

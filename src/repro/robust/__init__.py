@@ -25,12 +25,14 @@ from .errors import (
     ConvergenceWarning,
     ModelDomainError,
     ModelDomainWarning,
+    ModelIndexError,
     ReproError,
     ReproWarning,
     RoadmapDataError,
     SimulationBudgetError,
 )
 from .guards import ConvergenceReport, IterationGuard, SimulationBudget
+from .rng import DEFAULT_ROOT_SEED, reseed, resolve_rng, spawn_seed
 from .validate import (
     check_count,
     check_finite,
@@ -53,8 +55,10 @@ from .faults import (
 __all__ = [
     "ReproError", "ModelDomainError", "ConvergenceError",
     "RoadmapDataError", "SimulationBudgetError", "CalibrationError",
+    "ModelIndexError",
     "ReproWarning", "ModelDomainWarning", "ConvergenceWarning",
     "ConvergenceReport", "IterationGuard", "SimulationBudget",
+    "DEFAULT_ROOT_SEED", "resolve_rng", "reseed", "spawn_seed",
     "check_finite", "check_positive", "check_non_negative",
     "check_range", "check_fraction", "check_count",
     "ensure_finite_output", "validated",

@@ -71,6 +71,15 @@ class CalibrationError(ReproError, RuntimeError):
     """An operation requires calibration data that is not present."""
 
 
+class ModelIndexError(ReproError, IndexError):
+    """An index or position lies outside a model grid or sample set.
+
+    Raised for mesh-node lookups outside the substrate grid and for
+    Monte Carlo sample indices beyond the batch.  Inherits
+    ``IndexError`` so pre-existing handlers keep working.
+    """
+
+
 # --- warning taxonomy -----------------------------------------------------
 
 class ReproWarning(UserWarning):

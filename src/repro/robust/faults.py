@@ -315,13 +315,17 @@ def default_registry() -> List[ApiSpec]:
                 lambda **kw: leakage.leakage_power_density(node, **kw),
                 {"gates_per_mm2": 1e5},
                 ("gates_per_mm2",)),
+        ApiSpec("devices.leakage.ioff_vs_vth_sweep",
+                lambda **kw: leakage.ioff_vs_vth_sweep(node, **kw),
+                {"vth_values": 0.3, "width": 2 * f},
+                ("vth_values", "width")),
         ApiSpec("devices.mosfet.Mosfet.ids", mosfet_ids,
                 {"width": 2 * f, "vgs": 1.0, "vds": 1.0, "vbs": 0.0},
                 ("width", "vgs", "vds", "vbs")),
         ApiSpec("devices.mosfet.Mosfet.off_current", mosfet_off_current,
                 {"width": 2 * f, "vds": 1.0},
                 ("width", "vds")),
-        ApiSpec("digital.delay.fo4_delay", fo4_delay,
+        ApiSpec("digital.delay.DelayModel.delay", fo4_delay,
                 {"drive_width": 2 * f, "vth": 0.22, "vdd": 1.0},
                 ("drive_width", "vth", "vdd")),
         ApiSpec("digital.delay.delay_spread", delay_spread,
@@ -350,6 +354,10 @@ def default_registry() -> List[ApiSpec]:
                 {"pitch": 180e-9, "width_fraction": 0.5,
                  "aspect_ratio": 2.0},
                 ("pitch", "width_fraction", "aspect_ratio")),
+        ApiSpec("interconnect.wire.capacitance_per_length",
+                lambda **kw: wire.capacitance_per_length(geometry, **kw),
+                {"miller_factor": 1.0},
+                ("miller_factor",)),
         ApiSpec("interconnect.wire.wire_delay",
                 lambda **kw: wire.wire_delay(geometry, **kw),
                 {"length": 1e-3, "miller_factor": 1.0},
@@ -405,6 +413,10 @@ def default_registry() -> List[ApiSpec]:
                 lambda **kw: dopants.channel_dopant_count(node, **kw),
                 {"width": 2 * f, "length": f},
                 ("width", "length")),
+        ApiSpec("variability.dopants.dopant_count_sigma",
+                dopants.dopant_count_sigma,
+                {"mean_count": 100.0},
+                ("mean_count",)),
         ApiSpec("variability.dopants.vth_sigma_from_rdf",
                 lambda **kw: dopants.vth_sigma_from_rdf(node, **kw),
                 {"width": 2 * f, "length": f},

@@ -182,12 +182,14 @@ def _compile_spec(spec: Any) -> Callable[[str, Any], Any]:
         try:
             return _NAMED_CHECKS[spec]
         except KeyError:
+            # replint: disable=R003 -- decoration-time programmer error, not a model-domain failure; must not depend on the taxonomy it guards
             raise ValueError(f"unknown validation spec {spec!r}") from None
     if isinstance(spec, tuple) and len(spec) == 2:
         low, high = spec
         return lambda name, value: check_range(name, value, low, high)
     if callable(spec):
         return spec
+    # replint: disable=R003 -- decoration-time programmer error, not a model-domain failure; must not depend on the taxonomy it guards
     raise ValueError(f"unsupported validation spec {spec!r}")
 
 
@@ -224,6 +226,7 @@ def validated(_result_finite: bool = False,
         signature = inspect.signature(func)
         unknown = set(param_specs) - set(signature.parameters)
         if unknown:
+            # replint: disable=R003 -- decoration-time programmer error (bad spec in source), raised at import, not at model evaluation
             raise ValueError(
                 f"validated: {func.__qualname__} has no parameters "
                 f"{sorted(unknown)}")

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 from ..technology.node import TechnologyNode
 from ..interconnect.wire import WireGeometry, capacitance_per_length
 from ..core.constants import EPSILON_0
+from ..robust.errors import ModelDomainError
 
 
 def capacitive_crosstalk_ratio(geom: WireGeometry,
@@ -61,7 +62,7 @@ def inductive_coupling_voltage(di_dt: float,
     wires); relevant "at higher frequencies" per the paper.
     """
     if mutual_inductance < 0:
-        raise ValueError("mutual_inductance must be non-negative")
+        raise ModelDomainError("mutual_inductance must be non-negative")
     return mutual_inductance * di_dt
 
 
@@ -82,7 +83,7 @@ def supply_bounce(rail: SupplyRail, peak_current: float,
     to the charge-sharing value when it is large enough.
     """
     if peak_current < 0 or rise_time <= 0:
-        raise ValueError("bad event parameters")
+        raise ModelDomainError("bad event parameters")
     ldidt = rail.inductance * peak_current / rise_time
     ir = rail.resistance * peak_current
     # Decap limit: the charge drawn during the edge comes off the
@@ -109,7 +110,7 @@ def simultaneous_switching_noise(node: TechnologyNode, n_drivers: int,
     ~ C*V/t_r with t_r ~ 4 FO4.
     """
     if n_drivers < 1:
-        raise ValueError("n_drivers must be >= 1")
+        raise ModelDomainError("n_drivers must be >= 1")
     from ..digital.delay import fo4_delay_model
     rise_time = 4.0 * fo4_delay_model(node).delay()
     peak_per_driver = load_per_driver * node.vdd / rise_time

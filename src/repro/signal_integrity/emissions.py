@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .vco import SpurReport, VcoModel
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -103,7 +104,7 @@ def max_tolerable_noise(vco: VcoModel, offset: float,
     Inverts the narrowband-FM spur formula: spur = 20*log10(K*A/(2f)).
     """
     if offset <= 0:
-        raise ValueError("offset must be positive")
+        raise ModelDomainError("offset must be positive")
     allowed = mask.limit_at(offset) - margin_db
     if math.isinf(allowed):
         return 0.0
@@ -121,7 +122,7 @@ def required_isolation_db(actual_noise: float, vco: VcoModel,
     must find through guard rings, separate grounds, or distance.
     """
     if actual_noise < 0:
-        raise ValueError("actual_noise must be non-negative")
+        raise ModelDomainError("actual_noise must be non-negative")
     tolerable = max_tolerable_noise(vco, offset, mask, margin_db)
     if tolerable <= 0:
         return math.inf

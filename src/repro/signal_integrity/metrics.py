@@ -8,6 +8,7 @@ from typing import Dict
 import numpy as np
 
 from ..substrate.swan import NoiseWaveform
+from ..robust.errors import ModelDomainError
 
 
 def rms(waveform: NoiseWaveform) -> float:
@@ -25,7 +26,7 @@ def relative_rms_error(test: NoiseWaveform,
     """|RMS_test - RMS_ref| / RMS_ref (the Fig. 10 RMS metric)."""
     ref = reference.rms
     if ref <= 0:
-        raise ValueError("reference waveform has zero RMS")
+        raise ModelDomainError("reference waveform has zero RMS")
     return abs(test.rms - ref) / ref
 
 
@@ -34,7 +35,7 @@ def relative_p2p_error(test: NoiseWaveform,
     """|P2P_test - P2P_ref| / P2P_ref (the Fig. 10 p2p metric)."""
     ref = reference.peak_to_peak
     if ref <= 0:
-        raise ValueError("reference waveform has zero peak-to-peak")
+        raise ModelDomainError("reference waveform has zero peak-to-peak")
     return abs(test.peak_to_peak - ref) / ref
 
 
@@ -49,7 +50,7 @@ def pointwise_nrmse(test: NoiseWaveform,
     diff = resampled.voltage - reference.voltage
     ref_rms = reference.rms
     if ref_rms <= 0:
-        raise ValueError("reference waveform has zero RMS")
+        raise ModelDomainError("reference waveform has zero RMS")
     return float(np.sqrt(np.mean(diff ** 2)) / ref_rms)
 
 

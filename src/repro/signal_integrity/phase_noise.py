@@ -17,6 +17,7 @@ import numpy as np
 
 from ..core.constants import BOLTZMANN, kt_energy
 from .vco import VcoModel
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -43,7 +44,7 @@ class LeesonParameters:
     def __post_init__(self) -> None:
         if min(self.loaded_q, self.signal_power,
                self.noise_factor) <= 0:
-            raise ValueError("Leeson parameters must be positive")
+            raise ModelDomainError("Leeson parameters must be positive")
 
 
 def leeson_phase_noise(params: LeesonParameters, carrier: float,
@@ -54,7 +55,7 @@ def leeson_phase_noise(params: LeesonParameters, carrier: float,
     L(f) = 10 log10( (2FkT/P) * (1 + (f0/(2Q f))^2) * (1 + fc/f) / 2 ).
     """
     if carrier <= 0 or offset <= 0:
-        raise ValueError("carrier and offset must be positive")
+        raise ModelDomainError("carrier and offset must be positive")
     thermal = (2.0 * params.noise_factor * kt_energy(temperature)
                / params.signal_power)
     resonator = 1.0 + (carrier / (2.0 * params.loaded_q * offset)) ** 2
@@ -70,7 +71,7 @@ def substrate_phase_noise(vco: VcoModel, noise_psd: float,
     Narrowband FM: L(f) = 10 log10( (K_sub^2 * S_v(f)) / (2 f^2) ).
     """
     if noise_psd < 0 or offset <= 0:
-        raise ValueError("bad substrate-noise parameters")
+        raise ModelDomainError("bad substrate-noise parameters")
     if noise_psd == 0:
         return -math.inf
     return 10.0 * math.log10(
@@ -122,7 +123,7 @@ def rms_jitter(params: LeesonParameters, vco: VcoModel,
     """
     lo, hi = band
     if lo <= 0 or hi <= lo:
-        raise ValueError("band must satisfy 0 < lo < hi")
+        raise ModelDomainError("band must satisfy 0 < lo < hi")
     offsets = np.geomspace(lo, hi, n_points)
     linear = np.array([
         10.0 ** (total_phase_noise(params, vco, noise_psd,
@@ -142,10 +143,10 @@ def substrate_noise_psd_from_waveform(voltage: np.ndarray,
     around the requested offset.
     """
     if dt <= 0 or offset <= 0:
-        raise ValueError("dt and offset must be positive")
+        raise ModelDomainError("dt and offset must be positive")
     voltage = np.asarray(voltage, dtype=float)
     if voltage.size < 16:
-        raise ValueError("waveform too short for a PSD estimate")
+        raise ModelDomainError("waveform too short for a PSD estimate")
     window = np.hanning(voltage.size)
     spectrum = np.fft.rfft((voltage - voltage.mean()) * window)
     # One-sided PSD with window power compensation.
@@ -154,6 +155,6 @@ def substrate_noise_psd_from_waveform(voltage: np.ndarray,
     freqs = np.fft.rfftfreq(voltage.size, dt)
     mask = (freqs > offset / 3.0) & (freqs < offset * 3.0)
     if not mask.any():
-        raise ValueError(
+        raise ModelDomainError(
             f"offset {offset:g} Hz outside the waveform bandwidth")
     return float(psd[mask].mean())

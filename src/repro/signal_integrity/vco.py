@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..substrate.swan import NoiseWaveform
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -47,7 +48,7 @@ class VcoModel:
 
     def __post_init__(self) -> None:
         if self.center_frequency <= 0:
-            raise ValueError("center_frequency must be positive")
+            raise ModelDomainError("center_frequency must be positive")
 
     def waveform(self, noise: NoiseWaveform,
                  sample_rate: Optional[float] = None
@@ -75,7 +76,7 @@ class VcoModel:
         beta = K_sub*A_m/f_m; spur = 20*log10(beta/2) for beta << 1.
         """
         if offset_frequency <= 0:
-            raise ValueError("offset_frequency must be positive")
+            raise ModelDomainError("offset_frequency must be positive")
         beta = (self.substrate_sensitivity * disturbance_amplitude
                 / offset_frequency)
         return 20.0 * math.log10(max(beta / 2.0, 1e-30))
@@ -95,7 +96,7 @@ class Spectrum:
             tolerance = 2.0 * (self.frequency[1] - self.frequency[0])
         mask = np.abs(self.frequency - frequency) <= tolerance
         if not mask.any():
-            raise ValueError(
+            raise ModelDomainError(
                 f"no spectrum bins within {tolerance} of {frequency}")
         return float(self.power_dbc[mask].max())
 
@@ -107,7 +108,7 @@ class Spectrum:
 def spectrum_of(time: np.ndarray, signal: np.ndarray) -> Spectrum:
     """Windowed FFT power spectrum, normalized to the carrier."""
     if time.size != signal.size or time.size < 16:
-        raise ValueError("need matching time/signal arrays, >= 16 points")
+        raise ModelDomainError("need matching time/signal arrays, >= 16 points")
     dt = float(time[1] - time[0])
     window = np.hanning(signal.size)
     spectrum = np.fft.rfft(signal * window)
@@ -142,7 +143,7 @@ def vco_spur_experiment(vco: VcoModel, noise: NoiseWaveform,
     ``clock_frequency`` (e.g. a SWAN waveform of the digital block).
     """
     if clock_frequency <= 0:
-        raise ValueError("clock_frequency must be positive")
+        raise ModelDomainError("clock_frequency must be positive")
     time, signal = vco.waveform(noise)
     spectrum = spectrum_of(time, signal)
     carrier = spectrum.carrier_frequency()
@@ -187,7 +188,7 @@ def synthetic_clock_noise(clock_frequency: float, duration: float,
     modulation mechanism is being studied.
     """
     if clock_frequency <= 0 or duration <= 0:
-        raise ValueError("clock_frequency and duration must be positive")
+        raise ModelDomainError("clock_frequency and duration must be positive")
     if dt is None:
         dt = 1.0 / (clock_frequency * 200.0)
     if pulse_width is None:

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import sparse
 from scipy.sparse.linalg import factorized
+from ..robust.errors import ModelDomainError, ModelIndexError
 
 
 @dataclass(frozen=True)
@@ -64,7 +65,7 @@ class SubstrateProcess:
     def __post_init__(self) -> None:
         if min(self.epi_resistivity, self.epi_thickness,
                self.bulk_resistivity, self.bulk_thickness) <= 0:
-            raise ValueError("all process parameters must be positive")
+            raise ModelDomainError("all process parameters must be positive")
 
 
 class SubstrateMesh:
@@ -82,9 +83,9 @@ class SubstrateMesh:
                  nx: int = 40, ny: int = 40,
                  process: SubstrateProcess = SubstrateProcess()):
         if die_width <= 0 or die_height <= 0:
-            raise ValueError("die dimensions must be positive")
+            raise ModelDomainError("die dimensions must be positive")
         if nx < 2 or ny < 2:
-            raise ValueError("mesh must be at least 2x2")
+            raise ModelDomainError("mesh must be at least 2x2")
         self.die_width = die_width
         self.die_height = die_height
         self.nx = nx
@@ -100,7 +101,7 @@ class SubstrateMesh:
     def node_index(self, i: int, j: int) -> int:
         """Flat index of mesh node (i, j)."""
         if not (0 <= i < self.nx and 0 <= j < self.ny):
-            raise IndexError(f"node ({i}, {j}) outside mesh "
+            raise ModelIndexError(f"node ({i}, {j}) outside mesh "
                              f"{self.nx}x{self.ny}")
         return j * self.nx + i
 
@@ -159,7 +160,7 @@ class SubstrateMesh:
         Returns the node index.  Invalidate any cached factorization.
         """
         if resistance <= 0:
-            raise ValueError("contact resistance must be positive")
+            raise ModelDomainError("contact resistance must be positive")
         node = self.node_at(x, y)
         self._extra_ground[node] = (self._extra_ground.get(node, 0.0)
                                     + 1.0 / resistance)
@@ -239,7 +240,7 @@ class SubstrateMesh:
         if currents.shape == (self.n_nodes,):
             currents = np.append(currents, 0.0)
         if currents.shape != (self.n_nodes + 1,):
-            raise ValueError(
+            raise ModelDomainError(
                 f"currents must have shape ({self.n_nodes},) or "
                 f"({self.n_nodes + 1},)")
         if self._solver is None:

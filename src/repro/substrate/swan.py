@@ -35,6 +35,8 @@ from ..digital.simulator import (EventDrivenSimulator, SimulationResult,
 from ..perf.profile import timed
 from .injection import (InjectionMacromodel, characterize_library)
 from .mesh import SubstrateMesh, SubstrateProcess
+from ..robust.rng import resolve_rng
+from ..robust.errors import ModelDomainError
 
 
 @dataclass
@@ -54,10 +56,10 @@ class Floorplan:
         x1, y1, x2, y2 = self.digital_region
         if not (0 <= x1 < x2 <= self.die_width
                 and 0 <= y1 < y2 <= self.die_height):
-            raise ValueError("digital region must lie inside the die")
+            raise ModelDomainError("digital region must lie inside the die")
         sx, sy = self.sensor_xy
         if not (0 <= sx <= self.die_width and 0 <= sy <= self.die_height):
-            raise ValueError("sensor must lie inside the die")
+            raise ModelDomainError("sensor must lie inside the die")
 
     def instance_positions(self, names: List[str]
                            ) -> Dict[str, Tuple[float, float]]:
@@ -137,13 +139,14 @@ class SwanSimulator:
                  clock_frequency: float = 50e6,
                  process: SubstrateProcess = SubstrateProcess(),
                  guard_ring: bool = False,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
         if clock_frequency <= 0:
-            raise ValueError("clock_frequency must be positive")
+            raise ModelDomainError("clock_frequency must be positive")
         self.netlist = netlist
         self.floorplan = floorplan or Floorplan.default()
         self.clock_frequency = clock_frequency
-        self.rng = np.random.default_rng(seed)
+        self.rng = resolve_rng(rng, seed=seed)
         self.mesh = SubstrateMesh(
             self.floorplan.die_width, self.floorplan.die_height,
             nx=mesh_resolution, ny=mesh_resolution, process=process)

@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..technology.node import TechnologyNode
 from .layout import DesignRules, LayoutCell, Pin, Rect
+from ..robust.errors import ModelDomainError
 
 
 def _finger_count(width: float, length: float,
@@ -35,7 +36,7 @@ def mosfet_cell(node: TechnologyNode, name: str, width: float,
     rules = DesignRules.for_node(node)
     length = length if length is not None else node.feature_size
     if width < node.feature_size or length < node.feature_size:
-        raise ValueError("device dimensions below feature size")
+        raise ModelDomainError("device dimensions below feature size")
     n_fingers = _finger_count(width, length, max_finger_width)
     finger_width = width / n_fingers
 
@@ -123,7 +124,7 @@ def capacitor_cell(node: TechnologyNode, name: str,
     ``cap_per_area`` defaults to 1 fF/um^2.
     """
     if capacitance <= 0:
-        raise ValueError("capacitance must be positive")
+        raise ModelDomainError("capacitance must be positive")
     rules = DesignRules.for_node(node)
     side = math.sqrt(capacitance / cap_per_area)
     margin = rules.cell_margin
@@ -150,7 +151,7 @@ def resistor_cell(node: TechnologyNode, name: str, resistance: float,
     squares.
     """
     if resistance <= 0:
-        raise ValueError("resistance must be positive")
+        raise ModelDomainError("resistance must be positive")
     rules = DesignRules.for_node(node)
     squares = resistance / sheet_resistance
     strip_width = 2.0 * rules.poly_width
@@ -187,7 +188,7 @@ def guard_ring_cell(node: TechnologyNode, name: str,
     majority-carrier noise before it reaches the sensitive device.
     """
     if inner_width <= 0 or inner_height <= 0:
-        raise ValueError("inner dimensions must be positive")
+        raise ModelDomainError("inner dimensions must be positive")
     rules = DesignRules.for_node(node)
     ring = 2.0 * rules.contact_size
     cell = LayoutCell(name=name)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..technology.node import TechnologyNode
+from ..robust.errors import ModelDomainError, RoadmapDataError
 
 
 #: Drawing layers in stack order.
@@ -32,10 +33,10 @@ class Rect:
 
     def __post_init__(self) -> None:
         if self.layer not in LAYERS:
-            raise ValueError(
+            raise ModelDomainError(
                 f"unknown layer {self.layer!r}; expected one of {LAYERS}")
         if self.width <= 0 or self.height <= 0:
-            raise ValueError("rectangle dimensions must be positive")
+            raise ModelDomainError("rectangle dimensions must be positive")
 
     @property
     def x2(self) -> float:
@@ -129,7 +130,7 @@ class LayoutCell:
         for pin in self.pins:
             if pin.name == name:
                 return pin
-        raise KeyError(f"cell {self.name!r} has no pin {name!r}")
+        raise RoadmapDataError(f"cell {self.name!r} has no pin {name!r}")
 
 
 @dataclass
@@ -216,7 +217,7 @@ class Layout:
     def add_instance(self, name: str, placement: Placement) -> None:
         """Place a cell instance."""
         if name in self.placements:
-            raise ValueError(f"instance {name!r} already placed")
+            raise ModelDomainError(f"instance {name!r} already placed")
         self.placements[name] = placement
 
     def connect(self, net: str, terminals: Iterable[Tuple[str, str]]

@@ -18,6 +18,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .layout import DesignRules, Layout, LayoutCell, Placement
+from ..robust.rng import resolve_rng
+from ..robust.errors import ModelDomainError
 
 
 @dataclass
@@ -38,11 +40,11 @@ class PlacementProblem:
         """Check that constraints reference known instances."""
         for a, b in self.symmetry:
             if a not in self.cells or b not in self.cells:
-                raise ValueError(f"symmetry pair ({a}, {b}) not placed")
+                raise ModelDomainError(f"symmetry pair ({a}, {b}) not placed")
         for group in self.proximity:
             for name in group:
                 if name not in self.cells:
-                    raise ValueError(f"proximity member {name} unknown")
+                    raise ModelDomainError(f"proximity member {name} unknown")
 
 
 @dataclass
@@ -63,11 +65,12 @@ class SimulatedAnnealingPlacer:
 
     def __init__(self, problem: PlacementProblem, rules: DesignRules,
                  seed: Optional[int] = None,
-                 n_columns: Optional[int] = None):
+                 n_columns: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
         problem.validate()
         self.problem = problem
         self.rules = rules
-        self.rng = np.random.default_rng(seed)
+        self.rng = resolve_rng(rng, seed=seed)
         n_cells = len(problem.cells)
         self.n_columns = (n_columns if n_columns is not None
                           else max(int(math.ceil(math.sqrt(n_cells))), 1))
@@ -152,7 +155,7 @@ class SimulatedAnnealingPlacer:
               cooling: float = 0.995) -> Tuple[_State, List[float]]:
         """Run the annealer; returns (best state, cost history)."""
         if n_iterations < 1:
-            raise ValueError("n_iterations must be positive")
+            raise ModelDomainError("n_iterations must be positive")
         state = self._initial_state()
         cost = self.cost(state)
         best_state, best_cost = state, cost

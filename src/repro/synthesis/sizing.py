@@ -86,7 +86,7 @@ class Specification:
                 if value > bound:
                     total += (value - bound) / max(abs(bound), 1e-30)
             else:
-                raise ValueError(f"bad direction {direction!r}")
+                raise ModelDomainError(f"bad direction {direction!r}")
         return total
 
     def is_feasible(self, performance: object) -> bool:

@@ -18,6 +18,7 @@ from typing import Dict, List
 from ..perf.cache import memoized
 from ..robust.errors import RoadmapDataError
 from .node import TechnologyNode
+from ..robust.validate import validated
 
 # Each tuple: (feature nm, VDD V, VT V, tox nm, M1 pitch nm, N_A 1/m^3,
 #              n, DIBL V/V, body factor, AVT mV*um, alpha, metal layers,
@@ -121,6 +122,7 @@ def all_nodes() -> List[TechnologyNode]:
     return list(_LIBRARY.values())
 
 
+@validated(feature_size_nm="positive")
 def nodes_below(feature_size_nm: float) -> List[TechnologyNode]:
     """Return built-in nodes with feature size <= ``feature_size_nm``."""
     return [node for node in _LIBRARY.values()

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..core.constants import EPSILON_SIO2
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -40,7 +41,7 @@ class GateDielectric:
         """Physical film thickness [m] giving equivalent oxide thickness
         ``eot`` [m] (same areal capacitance as SiO2 of thickness eot)."""
         if eot <= 0:
-            raise ValueError(f"eot must be positive, got {eot}")
+            raise ModelDomainError(f"eot must be positive, got {eot}")
         return eot * self.k / EPSILON_SIO2
 
     def leakage_suppression_vs_sio2(self, eot: float,
@@ -69,7 +70,7 @@ class Conductor:
     def resistance_per_length(self, width: float, thickness: float) -> float:
         """Wire resistance per unit length [ohm/m]."""
         if width <= 0 or thickness <= 0:
-            raise ValueError("wire cross-section dimensions must be positive")
+            raise ModelDomainError("wire cross-section dimensions must be positive")
         return self.resistivity / (width * thickness)
 
 

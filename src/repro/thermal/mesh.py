@@ -22,6 +22,7 @@ from scipy import sparse
 from scipy.sparse.linalg import factorized
 
 from ..robust.validate import check_positive
+from ..robust.errors import ModelDomainError
 
 #: Thermal conductivity of silicon [W/(m*K)].
 K_SILICON = 130.0
@@ -65,9 +66,9 @@ class ThermalMesh:
                  nx: int = 20, ny: int = 20,
                  stack: ThermalStack = ThermalStack()):
         if die_width <= 0 or die_height <= 0:
-            raise ValueError("die dimensions must be positive")
+            raise ModelDomainError("die dimensions must be positive")
         if nx < 2 or ny < 2:
-            raise ValueError("mesh must be at least 2x2")
+            raise ModelDomainError("mesh must be at least 2x2")
         self.die_width = die_width
         self.die_height = die_height
         self.nx = nx
@@ -127,10 +128,10 @@ class ThermalMesh:
         """Temperature [K] per tile for a per-tile power map [W]."""
         power_map = np.asarray(power_map, dtype=float)
         if power_map.shape != (self.n_nodes,):
-            raise ValueError(
+            raise ModelDomainError(
                 f"power_map must have shape ({self.n_nodes},)")
         if np.any(power_map < 0):
-            raise ValueError("power_map entries must be non-negative")
+            raise ModelDomainError("power_map entries must be non-negative")
         if self._solver is None:
             self._solver = factorized(self.conductance_matrix())
         rise = self._solver(power_map)
@@ -139,7 +140,7 @@ class ThermalMesh:
     def uniform_power_map(self, total_power: float) -> np.ndarray:
         """Spread ``total_power`` [W] evenly over the die."""
         if total_power < 0:
-            raise ValueError("total_power must be non-negative")
+            raise ModelDomainError("total_power must be non-negative")
         return np.full(self.n_nodes, total_power / self.n_nodes)
 
     def block_power_map(self, blocks: Sequence[Tuple[float, float,
@@ -152,7 +153,7 @@ class ThermalMesh:
         y_centres = (np.arange(self.ny) + 0.5) * self.dy
         for x1, y1, x2, y2, watts in blocks:
             if watts < 0:
-                raise ValueError("block power must be non-negative")
+                raise ModelDomainError("block power must be non-negative")
             inside = np.outer((y1 <= y_centres) & (y_centres < y2),
                               (x1 <= x_centres) & (x_centres < x2))
             count = np.count_nonzero(inside)

@@ -19,6 +19,7 @@ import numpy as np
 from ..core.constants import (ELECTRON_CHARGE, EPSILON_0, EPSILON_SI)
 from ..robust.validate import check_count, validated
 from ..technology.node import TechnologyNode
+from ..robust.rng import resolve_rng
 
 
 @validated(_result_finite=True, width="positive", length="positive")
@@ -132,11 +133,12 @@ class DopantPlacementModel:
 
     def __init__(self, node: TechnologyNode,
                  lateral_straggle: Optional[float] = None,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
         self.node = node
         self.lateral_straggle = (lateral_straggle if lateral_straggle
                                  is not None else self.DEFAULT_STRAGGLE)
-        self.rng = np.random.default_rng(seed)
+        self.rng = resolve_rng(rng, seed=seed)
 
     def sample(self, width: Optional[float] = None,
                length: Optional[float] = None) -> PlacedDopants:

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..robust.validate import check_count, check_positive, validated
 from ..technology.node import TechnologyNode
+from ..robust.rng import resolve_rng
 
 
 @dataclass(frozen=True)
@@ -48,7 +49,7 @@ def generate_edge(params: LerParameters, width: float, n_points: int = 256,
     """
     check_positive("width", width)
     n_points = check_count("n_points", n_points, minimum=8)
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     positions = np.linspace(0.0, width, n_points)
     spacing = positions[1] - positions[0]
     white = rng.standard_normal(n_points)
@@ -70,7 +71,7 @@ def effective_length_profile(params: LerParameters, length: float,
                              rng: Optional[np.random.Generator] = None
                              ) -> np.ndarray:
     """Local channel length along the width: two independent rough edges."""
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     left = generate_edge(params, width, n_points, rng)
     right = generate_edge(params, width, n_points, rng)
     return length + right - left
@@ -90,7 +91,7 @@ def current_spread_from_ler(node: TechnologyNode,
     giving I ~ mean(1/L_local).
     """
     n_devices = check_count("n_devices", n_devices, minimum=2)
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed=seed)
     width = width if width is not None else 2.0 * node.feature_size
     length = node.feature_size
     currents = np.empty(n_devices)

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..robust.validate import check_count, check_range, validated
 from ..technology.node import TechnologyNode
+from ..robust.rng import resolve_rng
 
 
 @dataclass(frozen=True)
@@ -97,7 +98,7 @@ class MismatchSampler:
         self.width = width
         self.length = length
         self.correlation = correlation
-        self.rng = np.random.default_rng(seed)
+        self.rng = resolve_rng(seed=seed)
         self._sigma_vth = sigma_delta_vth(node, width, length)
         self._sigma_beta = sigma_delta_beta(node, width, length)
 

@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..technology.node import TechnologyNode
+from ..robust.rng import resolve_rng
+from ..robust.errors import ModelDomainError
 
 
 @dataclass(frozen=True)
@@ -47,9 +49,9 @@ class SpatialSpec:
     def __post_init__(self) -> None:
         if min(self.gradient_sigma, self.correlated_sigma,
                self.correlation_length, self.white_sigma) < 0:
-            raise ValueError("spec values must be non-negative")
+            raise ModelDomainError("spec values must be non-negative")
         if self.correlation_length == 0:
-            raise ValueError("correlation_length must be positive")
+            raise ModelDomainError("correlation_length must be positive")
 
 
 class VtMap:
@@ -80,7 +82,7 @@ class VtMap:
         scalar = x_arr.ndim == 0 and y_arr.ndim == 0
         if (np.any(x_arr < 0) or np.any(x_arr > self.die)
                 or np.any(y_arr < 0) or np.any(y_arr > self.die)):
-            raise ValueError("position outside the die")
+            raise ModelDomainError("position outside the die")
         u = np.minimum(x_arr / self.die * (self._n - 1),
                        self._n - 1 - 1e-9)
         v = np.minimum(y_arr / self.die * (self._n - 1),
@@ -106,7 +108,8 @@ class VtMap:
 def sample_vt_map(node: TechnologyNode, die: float = 5e-3,
                   spec: SpatialSpec = SpatialSpec(),
                   resolution: int = 48,
-                  seed: Optional[int] = None) -> VtMap:
+                  seed: Optional[int] = None,
+                  rng: Optional[np.random.Generator] = None) -> VtMap:
     """Draw one die's smooth V_T-offset field.
 
     Gradient: random direction and magnitude.  Correlated field:
@@ -114,8 +117,8 @@ def sample_vt_map(node: TechnologyNode, die: float = 5e-3,
     length, renormalized to the requested sigma.
     """
     if die <= 0 or resolution < 8:
-        raise ValueError("die must be positive, resolution >= 8")
-    rng = np.random.default_rng(seed)
+        raise ModelDomainError("die must be positive, resolution >= 8")
+    rng = resolve_rng(rng, seed=seed)
     axis = np.linspace(0.0, die, resolution)
     xx, yy = np.meshgrid(axis, axis)
     # Linear gradient with random orientation.
@@ -156,14 +159,14 @@ def matching_vs_distance(node: TechnologyNode,
     gradient and field decorrelate the pair.
     """
     rows = []
-    base = np.random.default_rng(seed)
+    base = resolve_rng(seed=seed)
     maps = [sample_vt_map(node, die, spec,
                           seed=int(base.integers(2 ** 31)))
             for _ in range(n_dies)]
     n_pairs = 8   # pairs per die, placed at random positions
     for distance in distances:
         if distance >= die / 2:
-            raise ValueError("distance must fit on the die")
+            raise ModelDomainError("distance must fit on the die")
         diffs = []
         for vt_map in maps:
             x0 = base.uniform(0.1 * die, 0.9 * die - distance,
@@ -193,7 +196,7 @@ def common_centroid_benefit(node: TechnologyNode,
     the reason LAYLA draws matched pairs that way.
     """
     spec = spec or SpatialSpec(white_sigma=0.001)
-    base = np.random.default_rng(seed)
+    base = resolve_rng(seed=seed)
     plain, centroid = [], []
     for _ in range(n_dies):
         vt_map = sample_vt_map(node, die, spec,

@@ -36,6 +36,8 @@ from ..robust.errors import ModelDomainError
 from ..robust.validate import (check_count, check_finite,
                                check_non_negative, check_positive)
 from ..technology.node import TechnologyNode
+from ..robust.rng import resolve_rng
+from ..robust.validate import validated
 
 ArrayLike = Union[float, np.ndarray]
 
@@ -112,7 +114,7 @@ class SampledDie:
                       length: Optional[float] = None) -> SampledDevice:
         """Draw one device's total (inter + intra) deviation."""
         if self.rng is None:
-            raise ValueError(
+            raise ModelDomainError(
                 "SampledDie.rng is unset; use MonteCarloSampler."
                 "sample_die() or provide a generator explicitly")
         length = length if length is not None else self.node.feature_size
@@ -193,10 +195,11 @@ class MonteCarloSampler:
 
     def __init__(self, node: TechnologyNode,
                  spec: VariationSpec = VariationSpec(),
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
         self.node = node
         self.spec = spec
-        self.rng = np.random.default_rng(seed)
+        self.rng = resolve_rng(rng, seed=seed)
 
     def sample_die(self) -> SampledDie:
         """Draw one die's global (inter-die) shifts."""
@@ -334,18 +337,20 @@ def monte_carlo_yield_batch(sampler: MonteCarloSampler,
     batch = sampler.sample_dies_batch(n_dies)
     values = np.asarray(metric(batch), dtype=float)
     if values.shape != (n_dies,):
-        raise ValueError(
+        raise ModelDomainError(
             f"metric must return shape ({n_dies},), got {values.shape}")
     ok = values <= limit if upper_is_fail else values >= limit
     return YieldResult(n_samples=n_dies, n_pass=int(np.count_nonzero(ok)))
 
 
+@validated(nominal="finite", sigma="non-negative", n_sigma="non-negative")
 def worst_case_value(nominal: float, sigma: float, n_sigma: float = 3.0,
                      upper: bool = True) -> float:
     """Classic worst-case corner value: nominal +/- n_sigma * sigma."""
     return nominal + (n_sigma if upper else -n_sigma) * sigma
 
 
+@validated(absolute_sigma_vth="positive")
 def relative_variability_trend(nodes: Sequence[TechnologyNode],
                                absolute_sigma_vth: float = 0.015
                                ) -> List[Dict[str, float]]:

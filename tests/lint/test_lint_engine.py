@@ -1,0 +1,127 @@
+"""Engine behaviour: discovery, waivers, rule selection, reports."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import Finding, discover_files, run_lint
+from repro.robust.errors import RoadmapDataError
+
+
+def write(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+VIOLATION = """
+    def f(x):
+        raise ValueError("bad")
+"""
+
+
+class TestWaivers:
+    def test_same_line_documented_waiver_suppresses(self, tmp_path):
+        write(tmp_path, """
+            def f(x):
+                raise ValueError("bad")  # replint: disable=R003 -- fixture
+        """)
+        report = run_lint([tmp_path])
+        assert report.clean
+        assert [f.code for f in report.waived] == ["R003"]
+
+    def test_standalone_comment_waives_next_line(self, tmp_path):
+        write(tmp_path, """
+            def f(x):
+                # replint: disable=R003 -- fixture
+                raise ValueError("bad")
+        """)
+        report = run_lint([tmp_path])
+        assert report.clean
+        assert len(report.waived) == 1
+
+    def test_file_wide_waiver(self, tmp_path):
+        write(tmp_path, """
+            # replint: disable-file=R003 -- legacy fixture module
+            def f(x):
+                raise ValueError("bad")
+
+            def g(x):
+                raise KeyError("also bad")
+        """)
+        report = run_lint([tmp_path])
+        assert report.clean
+        assert len(report.waived) == 2
+
+    def test_undocumented_waiver_is_R000_and_does_not_suppress(
+            self, tmp_path):
+        write(tmp_path, """
+            def f(x):
+                raise ValueError("bad")  # replint: disable=R003
+        """)
+        report = run_lint([tmp_path])
+        assert sorted(f.code for f in report.findings) == ["R000", "R003"]
+        assert not report.waived
+
+    def test_waiver_only_covers_listed_codes(self, tmp_path):
+        write(tmp_path, """
+            def f(x):
+                raise ValueError("bad")  # replint: disable=R001 -- wrong code
+        """)
+        report = run_lint([tmp_path])
+        assert [f.code for f in report.findings] == ["R003"]
+
+
+class TestEngine:
+    def test_exit_codes(self, tmp_path):
+        write(tmp_path, VIOLATION)
+        report = run_lint([tmp_path])
+        assert report.exit_code == 1
+        clean = run_lint([tmp_path], select=["R001"])
+        assert clean.exit_code == 0
+
+    def test_select_and_ignore(self, tmp_path):
+        write(tmp_path, VIOLATION)
+        assert run_lint([tmp_path], ignore=["R003"]).clean
+        assert not run_lint([tmp_path], select=["R003"]).clean
+        with pytest.raises(RoadmapDataError):
+            run_lint([tmp_path], select=["R999"])
+
+    def test_syntax_error_reported_as_E999(self, tmp_path):
+        write(tmp_path, "def broken(:\n")
+        report = run_lint([tmp_path])
+        assert [f.code for f in report.findings] == ["E999"]
+        assert report.exit_code == 1
+
+    def test_discovery_skips_pycache(self, tmp_path):
+        write(tmp_path, VIOLATION, name="pkg/mod.py")
+        write(tmp_path, VIOLATION, name="pkg/__pycache__/mod.py")
+        files = discover_files([tmp_path])
+        assert [p.name for p in files] == ["mod.py"]
+
+    def test_findings_are_sorted_and_stable(self, tmp_path):
+        write(tmp_path, """
+            def f(x):
+                raise ValueError("a")
+
+            def g(x):
+                raise KeyError("b")
+        """, name="b.py")
+        write(tmp_path, VIOLATION, name="a.py")
+        report = run_lint([tmp_path])
+        assert report.findings == sorted(report.findings)
+        again = run_lint([tmp_path])
+        assert report.findings == again.findings
+
+    def test_report_to_dict_roundtrip(self, tmp_path):
+        write(tmp_path, VIOLATION)
+        payload = run_lint([tmp_path]).to_dict()
+        assert payload["clean"] is False
+        assert payload["n_findings"] == len(payload["findings"])
+        assert payload["findings"][0]["code"] == "R003"
+
+    def test_finding_format(self):
+        finding = Finding(path="src/x.py", line=3, col=4, code="R001",
+                          message="msg")
+        assert finding.format() == "src/x.py:3:4: R001 msg"

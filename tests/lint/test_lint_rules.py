@@ -1,0 +1,288 @@
+"""Per-rule fixtures: one true positive and one false-positive
+avoidance case for each of R001-R005."""
+
+import textwrap
+
+from repro.lint import run_lint
+
+
+def lint_file(tmp_path, source, name="mod.py", select=None):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return run_lint([tmp_path], select=select)
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+class TestR001RngDiscipline:
+    def test_flags_legacy_global_numpy_random(self, tmp_path):
+        report = lint_file(tmp_path, """
+            import numpy as np
+
+            def sample():
+                return np.random.normal(0.0, 1.0, 10)
+        """)
+        assert codes(report) == ["R001"]
+        assert "legacy global numpy.random.normal" \
+            in report.findings[0].message
+
+    def test_flags_unseeded_default_rng_passthrough(self, tmp_path):
+        report = lint_file(tmp_path, """
+            import numpy as np
+
+            def sample(seed=None):
+                rng = np.random.default_rng(seed)
+                return rng.normal()
+        """)
+        assert codes(report) == ["R001"]
+        assert "unseeded" in report.findings[0].message
+
+    def test_flags_stdlib_random(self, tmp_path):
+        report = lint_file(tmp_path, """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+        """)
+        assert codes(report) == ["R001"]
+
+    def test_allows_injected_generator_and_seeded_rng(self, tmp_path):
+        report = lint_file(tmp_path, """
+            import numpy as np
+            from repro.robust.rng import resolve_rng
+
+            def sample(rng=None, seed=None):
+                rng = resolve_rng(rng, seed=seed)
+                return rng.normal(0.0, 1.0, 10)
+
+            def fixed():
+                return np.random.default_rng(1234).uniform()
+        """)
+        assert report.clean
+
+    def test_allows_local_variable_named_random(self, tmp_path):
+        # no ``import random`` -> ``random.choice`` is an attribute of
+        # a local object, not the stdlib module
+        report = lint_file(tmp_path, """
+            def pick(random, items):
+                return random.choice(items)
+        """)
+        assert report.clean
+
+
+class TestR002ValidationBoundary:
+    def test_flags_unguarded_public_numeric_api(self, tmp_path):
+        report = lint_file(tmp_path, """
+            def vth_shift(delta: float) -> float:
+                return 2.0 * delta
+        """, name="repro/devices/mod.py")
+        assert codes(report) == ["R002"]
+        assert "vth_shift" in report.findings[0].message
+
+    def test_validated_decorator_is_evidence(self, tmp_path):
+        report = lint_file(tmp_path, """
+            from repro.robust.validate import validated
+
+            @validated(delta="finite")
+            def vth_shift(delta: float) -> float:
+                return 2.0 * delta
+        """, name="repro/devices/mod.py")
+        assert report.clean
+
+    def test_delegation_to_guarded_code_is_evidence(self, tmp_path):
+        report = lint_file(tmp_path, """
+            from repro.robust.validate import check_positive
+
+            def _core(delta: float) -> float:
+                check_positive("delta", delta)
+                return 2.0 * delta
+
+            def vth_shift(delta: float) -> float:
+                return _core(delta)
+        """, name="repro/devices/mod.py")
+        assert report.clean
+
+    def test_taxonomy_raise_is_evidence(self, tmp_path):
+        report = lint_file(tmp_path, """
+            from repro.robust.errors import ModelDomainError
+
+            def vth_shift(delta: float) -> float:
+                if delta < 0:
+                    raise ModelDomainError("negative delta")
+                return 2.0 * delta
+        """, name="repro/devices/mod.py")
+        assert report.clean
+
+    def test_non_model_packages_are_out_of_scope(self, tmp_path):
+        report = lint_file(tmp_path, """
+            def helper(x: float) -> float:
+                return x + 1.0
+        """, name="repro/perf/mod.py")
+        assert report.clean
+
+
+class TestR003ExceptionHygiene:
+    def test_flags_builtin_raise(self, tmp_path):
+        report = lint_file(tmp_path, """
+            def f(x):
+                if x < 0:
+                    raise ValueError("negative")
+                return x
+        """)
+        assert codes(report) == ["R003"]
+        assert "ModelDomainError" in report.findings[0].message
+
+    def test_flags_bare_except(self, tmp_path):
+        report = lint_file(tmp_path, """
+            def f(x):
+                try:
+                    return 1.0 / x
+                except:
+                    return 0.0
+        """)
+        assert codes(report) == ["R003"]
+        assert "bare 'except:'" in report.findings[0].message
+
+    def test_allows_taxonomy_and_reraise(self, tmp_path):
+        report = lint_file(tmp_path, """
+            from repro.robust.errors import ModelDomainError
+
+            def f(x):
+                if x < 0:
+                    raise ModelDomainError("negative")
+                try:
+                    return 1.0 / x
+                except ZeroDivisionError as err:
+                    raise
+
+            def hook():
+                raise NotImplementedError
+        """)
+        assert report.clean
+
+
+class TestR004FaultRegistryDrift:
+    FAULTS = """
+        class ApiSpec:
+            def __init__(self, name, call, baseline, perturb):
+                self.name = name
+
+        def default_registry():
+            return [
+                ApiSpec("devices.mod.real_fn", None, {}, ()),
+            ]
+    """
+
+    def test_flags_stale_registration(self, tmp_path):
+        (tmp_path / "repro/robust").mkdir(parents=True)
+        (tmp_path / "repro/robust/faults.py").write_text(textwrap.dedent("""
+            class ApiSpec:
+                def __init__(self, name, call, baseline, perturb):
+                    self.name = name
+
+            def default_registry():
+                return [ApiSpec("devices.mod.ghost_fn", None, {}, ())]
+        """))
+        report = lint_file(tmp_path, """
+            def real_fn(x: float) -> float:
+                return x
+        """, name="repro/devices/mod.py", select=["R004"])
+        assert codes(report) == ["R004"]
+        assert "ghost_fn" in report.findings[0].message
+
+    def test_flags_unregistered_finite_validated_function(self, tmp_path):
+        (tmp_path / "repro/robust").mkdir(parents=True)
+        (tmp_path / "repro/robust/faults.py").write_text(
+            textwrap.dedent(self.FAULTS))
+        report = lint_file(tmp_path, """
+            from repro.robust.validate import validated
+
+            @validated(_result_finite=True, x="finite")
+            def real_fn(x: float) -> float:
+                return x
+
+            @validated(_result_finite=True, x="finite")
+            def forgotten_fn(x: float) -> float:
+                return x
+        """, name="repro/devices/mod.py", select=["R004"])
+        assert codes(report) == ["R004"]
+        assert "forgotten_fn" in report.findings[0].message
+
+    def test_registered_surface_is_clean(self, tmp_path):
+        (tmp_path / "repro/robust").mkdir(parents=True)
+        (tmp_path / "repro/robust/faults.py").write_text(
+            textwrap.dedent(self.FAULTS))
+        report = lint_file(tmp_path, """
+            from repro.robust.validate import validated
+
+            @validated(_result_finite=True, x="finite")
+            def real_fn(x: float) -> float:
+                return x
+
+            @validated(x="finite")
+            def param_only(x: float) -> float:
+                return x
+        """, name="repro/devices/mod.py", select=["R004"])
+        assert report.clean
+
+    def test_method_style_names_resolve(self, tmp_path):
+        (tmp_path / "repro/robust").mkdir(parents=True)
+        (tmp_path / "repro/robust/faults.py").write_text(textwrap.dedent("""
+            class ApiSpec:
+                def __init__(self, name, call, baseline, perturb):
+                    self.name = name
+
+            def default_registry():
+                return [
+                    ApiSpec("devices.mod.Model.evaluate", None, {}, ()),
+                    ApiSpec("devices.mod.shortcut", None, {}, ()),
+                ]
+        """))
+        # "shortcut" skips the class name, like technology.node.
+        # with_overrides in the real registry.
+        report = lint_file(tmp_path, """
+            class Model:
+                def evaluate(self, x: float) -> float:
+                    return x
+
+                def shortcut(self, x: float) -> float:
+                    return x
+        """, name="repro/devices/mod.py", select=["R004"])
+        assert report.clean
+
+
+class TestR005VectorizationSafety:
+    def test_flags_scalar_math_on_array_param(self, tmp_path):
+        report = lint_file(tmp_path, """
+            import math
+            import numpy as np
+
+            def decay(vth: np.ndarray, tau: float) -> np.ndarray:
+                return math.exp(vth / tau)
+        """)
+        assert codes(report) == ["R005"]
+        assert "math.exp" in report.findings[0].message
+        assert "vth" in report.findings[0].message
+
+    def test_allows_math_on_scalar_params(self, tmp_path):
+        report = lint_file(tmp_path, """
+            import math
+            import numpy as np
+
+            def decay(vth: np.ndarray, tau: float) -> np.ndarray:
+                scale = math.exp(-1.0 / tau)
+                return vth * scale
+        """)
+        assert report.clean
+
+    def test_allows_numpy_on_array_params(self, tmp_path):
+        report = lint_file(tmp_path, """
+            import numpy as np
+
+            def decay(vth: np.ndarray, tau: float) -> np.ndarray:
+                return np.exp(vth / tau)
+        """)
+        assert report.clean

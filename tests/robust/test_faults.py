@@ -1,15 +1,26 @@
 """The tier-1 fault-injection sweep over the public model APIs."""
 
+from pathlib import Path
+
 import numpy as np
 
+from repro.lint import run_lint
 from repro.robust import ModelDomainError
 from repro.robust.faults import (PERTURBATIONS, ApiSpec, FaultOutcome,
                                  default_registry, run_fault_sweep)
 
+_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
 
 class TestRegistry:
-    def test_covers_at_least_25_apis(self):
-        assert len(default_registry()) >= 25
+    def test_registry_tracks_api_surface(self):
+        """R004 replaces the old hand-bumped ``n_apis >= N`` floor:
+        every registration resolves to a live symbol, and every
+        module-level ``@validated(_result_finite=True)`` model
+        function is registered."""
+        report = run_lint([_SRC], select=["R004"])
+        assert report.clean, "\n".join(
+            f.format() for f in report.findings)
 
     def test_names_are_unique(self):
         names = [spec.name for spec in default_registry()]
@@ -22,7 +33,7 @@ class TestSweep:
         finite values or raises a typed ReproError under NaN/inf/zero/
         negative/extreme inputs."""
         report = run_fault_sweep()
-        assert report.n_apis >= 25
+        assert report.n_apis == len(default_registry())
         assert report.passed, "\n" + report.summary()
 
     def test_sweep_is_deterministic(self):
