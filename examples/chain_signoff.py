@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Full-chain mixed-signal sign-off: DAC -> SC filter -> ADC.
+
+Walks the three levels of the sign-off suite:
+
+1. one ideal chain (exactly zero DNL/INL -- the dyadic-fraction
+   design guarantee),
+2. one mismatched die at 65 nm with its DNL/INL/ENOB report,
+3. the batched Monte Carlo yield-vs-node sweep that reproduces the
+   paper's analog-scaling collapse, plus the device-sizing knob that
+   buys the yield back.
+
+Run:  python examples/chain_signoff.py
+"""
+
+import numpy as np
+
+from repro.analog import (ChainDesign, chain_signoff,
+                          chain_signoff_batch, chain_yield_vs_node)
+from repro.technology import get_node
+from repro.variability import MonteCarloSampler
+
+
+def main() -> None:
+    node = get_node("65nm")
+
+    # --- 1. The ideal chain is *exactly* linear ------------------------
+    ideal = chain_signoff(node)
+    print("Ideal 8-bit chain at 65 nm:")
+    print(f"  DAC DNL/INL : {ideal.dac.dnl_max:.1f} / "
+          f"{ideal.dac.inl_max:.1f} LSB (exact zeros)")
+    print(f"  ADC DNL/INL : {ideal.adc.dnl_max:.1f} / "
+          f"{ideal.adc.inl_max:.1f} LSB")
+    print(f"  ENOB        : {ideal.spectral.enob:.3f} bit "
+          f"(double quantization of a 0.9 FS sine)")
+    print(f"  sign-off    : {'PASS' if ideal.passed else 'FAIL'}")
+
+    # --- 2. One real die: Pelgrom mismatch everywhere ------------------
+    die = MonteCarloSampler(node, seed=2).sample_die()
+    real = chain_signoff(node, die=die)
+    print("\nOne mismatched die (seed 2):")
+    print(f"  DAC DNL/INL : {real.dac.dnl_max:.3f} / "
+          f"{real.dac.inl_max:.3f} LSB")
+    print(f"  ADC DNL/INL : {real.adc.dnl_max:.3f} / "
+          f"{real.adc.inl_max:.3f} LSB")
+    print(f"  ENOB        : {real.spectral.enob:.3f} bit")
+    print(f"  sign-off    : {'PASS' if real.passed else 'FAIL'}")
+
+    # --- 3. Yield vs node: the analog scaling story --------------------
+    print("\nSign-off yield vs node (64 dies each, batched MC):")
+    print(f"  {'node':>6} | {'yield':>6} | {'ENOB mean':>9} | "
+          f"{'worst DNL':>9} | {'worst INL':>9}")
+    for row in chain_yield_vs_node(n_dies=64, seed=0):
+        print(f"  {row['node']:>6} | {row['yield_fraction']:6.2f} | "
+              f"{row['enob_mean']:9.3f} | "
+              f"{row['dnl_worst_lsb']:7.2f} LSB | "
+              f"{row['inl_worst_lsb']:7.2f} LSB")
+    print("  -> same design, same spec: yield collapses below 65 nm "
+          "because sigma(VT), sigma(R), sigma(C) grow as 1/sqrt(WL) "
+          "while the LSB shrinks with VDD.")
+
+    # --- 4. Buying the yield back with area ----------------------------
+    small = chain_signoff_batch(MonteCarloSampler(get_node("32nm"),
+                                                  seed=0), n_dies=64)
+    big = chain_signoff_batch(
+        MonteCarloSampler(get_node("32nm"), seed=0),
+        design=ChainDesign(resistor_width=32.0, resistor_length=256.0,
+                           cap_side=48.0, comparator_width=256.0,
+                           comparator_length=32.0),
+        n_dies=64)
+    print(f"\n32 nm yield with minimum-size devices : "
+          f"{float(np.mean(small.passed)):.2f}")
+    print(f"32 nm yield with 16x matched area      : "
+          f"{float(np.mean(big.passed)):.2f}")
+    print("  -> the paper's conclusion: analog blocks stop shrinking; "
+          "matching, not lithography, sets their area.")
+
+
+if __name__ == "__main__":
+    main()

@@ -97,6 +97,28 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_chain_yield(args) -> int:
+    from .analog import ChainSpec, chain_yield_vs_node
+    from .robust import RoadmapDataError
+    from .technology import get_node
+    nodes = None
+    if args.nodes:
+        try:
+            nodes = [get_node(name) for name in args.nodes.split(",")]
+        except RoadmapDataError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    spec = ChainSpec(dnl_limit=args.dnl_limit, inl_limit=args.inl_limit,
+                     enob_min=args.enob_min)
+    rows = chain_yield_vs_node(nodes=nodes, spec=spec,
+                               n_dies=args.dies, seed=args.seed,
+                               vectorized=not args.scalar)
+    _print_table(rows, columns=["node", "yield_fraction", "enob_mean",
+                                "enob_min", "dnl_worst_lsb",
+                                "inl_worst_lsb", "n_dies"])
+    return 0
+
+
 def cmd_figures(_args) -> int:
     index = [
         ("fig01", "subthreshold I(V_GS, V_DS) with DIBL (eq. 1)"),
@@ -160,6 +182,25 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--temperature", type=float,
                                default=358.0)
     report_parser.set_defaults(func=cmd_report)
+
+    chain_parser = sub.add_parser(
+        "chain-yield",
+        help="DAC -> SC filter -> ADC sign-off yield vs node")
+    chain_parser.add_argument("--dies", type=int, default=64,
+                              help="Monte Carlo dies per node")
+    chain_parser.add_argument("--seed", type=int, default=0)
+    chain_parser.add_argument("--nodes", default=None,
+                              help="comma-separated, e.g. 130nm,65nm")
+    chain_parser.add_argument("--dnl-limit", type=float, default=0.5,
+                              help="max |DNL| [LSB]")
+    chain_parser.add_argument("--inl-limit", type=float, default=1.0,
+                              help="max |INL| [LSB]")
+    chain_parser.add_argument("--enob-min", type=float, default=None,
+                              help="ENOB floor (default n_bits - 1.5)")
+    chain_parser.add_argument("--scalar", action="store_true",
+                              help="use the per-die scalar oracle "
+                                   "instead of the batched path")
+    chain_parser.set_defaults(func=cmd_chain_yield)
 
     sub.add_parser("figures", help="index of figure benchmarks"
                    ).set_defaults(func=cmd_figures)

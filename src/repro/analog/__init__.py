@@ -67,6 +67,27 @@ from .circuits import (
     OtaPerformance,
     SingleStageOta,
 )
+from .metrics import (
+    LinearityReport,
+    SpectralReport,
+    histogram_linearity,
+    histogram_linearity_batch,
+    spectral_metrics,
+    spectral_metrics_batch,
+    transfer_linearity,
+    transfer_linearity_batch,
+)
+from .chain import (
+    ChainDesign,
+    ChainSignoff,
+    ChainSpec,
+    R2rDac,
+    SarAdc,
+    SignalChain,
+    chain_signoff,
+    chain_signoff_batch,
+    chain_yield_vs_node,
+)
 
 __all__ = [
     "TradeoffPoint", "accuracy_from_bits", "bits_from_accuracy",
@@ -88,4 +109,11 @@ __all__ = [
     "offset_yield", "yield_vs_area",
     "DetectorFrontend", "DetectorFrontendDesign", "FrontendPerformance",
     "MillerOta", "OtaDesign", "OtaPerformance", "SingleStageOta",
+    "LinearityReport", "SpectralReport",
+    "histogram_linearity", "histogram_linearity_batch",
+    "spectral_metrics", "spectral_metrics_batch",
+    "transfer_linearity", "transfer_linearity_batch",
+    "ChainDesign", "ChainSignoff", "ChainSpec",
+    "R2rDac", "SarAdc", "SignalChain",
+    "chain_signoff", "chain_signoff_batch", "chain_yield_vs_node",
 ]

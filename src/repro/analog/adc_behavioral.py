@@ -18,8 +18,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..robust.errors import CalibrationError, ModelDomainError
+from ..robust.validate import check_count
 from ..technology.node import TechnologyNode
 from ..variability.pelgrom import sigma_delta_vth
+from .metrics import spectral_metrics
 from .noise import enob_from_snr
 from ..robust.rng import resolve_rng
 
@@ -171,12 +173,23 @@ def sine_test(adc: PipelineAdc, n_samples: int = 4096,
               calibrated: bool = False) -> AdcTestResult:
     """Coherent sine-wave test: SNDR and ENOB by FFT.
 
-    ``cycles`` must be odd/coprime to ``n_samples`` for coherence.
+    Coherent sampling is enforced, not assumed: ``cycles`` must be a
+    positive *integer* bin count, coprime to ``n_samples`` and below
+    Nyquist, so the carrier lands in exactly one FFT bin.  A
+    non-integer count would smear carrier power into the noise bins
+    (spectral leakage biasing ENOB low), and a count at or past
+    ``n_samples // 2`` aliases -- both now raise a typed error before
+    any conversion runs.
     """
     if n_samples < 256:
         raise ModelDomainError("n_samples must be >= 256")
+    cycles = check_count("cycles", cycles)
     if math.gcd(cycles, n_samples) != 1:
         raise ModelDomainError("cycles must be coprime to n_samples")
+    if cycles >= n_samples // 2:
+        raise ModelDomainError(
+            f"cycles must stay below Nyquist (n_samples // 2 = "
+            f"{n_samples // 2}), got {cycles}")
     t = np.arange(n_samples)
     v_in = (amplitude_fraction * adc.v_ref
             * np.sin(2.0 * math.pi * cycles * t / n_samples))
@@ -187,16 +200,9 @@ def sine_test(adc: PipelineAdc, n_samples: int = 4096,
         signal = adc.corrected_output(codes)
     else:
         signal = codes
-    spectrum = np.fft.rfft(signal - signal.mean())
-    power = np.abs(spectrum) ** 2
-    signal_bins = {cycles}
-    signal_power = sum(power[b] for b in signal_bins)
-    noise_power = power[1:].sum() - signal_power
-    if noise_power <= 0:
-        sndr = 150.0
-    else:
-        sndr = 10.0 * math.log10(signal_power / noise_power)
-    return AdcTestResult(sndr_db=sndr, enob=enob_from_snr(sndr),
+    report = spectral_metrics(np.asarray(signal, dtype=float), cycles)
+    return AdcTestResult(sndr_db=report.sndr_db,
+                         enob=enob_from_snr(report.sndr_db),
                          n_samples=n_samples)
 
 

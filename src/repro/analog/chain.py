@@ -1,0 +1,659 @@
+"""Full mixed-signal chain: R-2R DAC -> SC filter -> SAR ADC.
+
+The paper's survival question for analog is a *system* question: does
+a complete converter chain, instantiated at each roadmap node, still
+meet linearity and dynamic-range specs once Pelgrom mismatch is drawn
+per die?  This module builds that chain behaviorally:
+
+* an N-bit **R-2R DAC** whose per-leg resistor errors come from
+  :func:`~repro.variability.pelgrom.sigma_resistor_mismatch` (a leg of
+  ``2**i`` effective unit resistors de-rates by ``sqrt(2**i)``);
+* the existing **SC amplifier** stage
+  (:func:`~repro.analog.switched_capacitor.design_sc_stage`), whose
+  per-die gain error combines a cap-ratio mismatch draw with the
+  finite-gain error of the evaluated OTA at the die's global V_T;
+* an N-bit **SAR ADC** with binary-weighted cap-DAC mismatch from
+  :func:`~repro.variability.pelgrom.sigma_capacitor_mismatch` plus a
+  comparator offset from
+  :func:`~repro.variability.pelgrom.offset_sigma_diff_pair`.
+
+Everything computes in the dimensionless *fraction-of-full-scale*
+domain, where ideal levels and SAR thresholds are dyadic rationals
+(``k / 2**N``) that float64 represents exactly -- so an ideal chain
+reports *exactly* zero DNL/INL and an exactly monotonic transfer at
+every node, and mismatch is the only thing the sign-off measures.
+
+Two evaluation paths share every arithmetic core:
+
+* the **scalar per-die oracle** -- :meth:`SignalChain.from_die` on one
+  :class:`~repro.variability.statistical.SampledDie` at a time;
+* the **batched path** -- :func:`chain_signoff_batch` carries a whole
+  :class:`~repro.variability.statistical.DieBatch` through the same
+  elementwise cores with a leading die axis.
+
+Both draw identical variates under a fixed seed (the sampler's
+spawn-per-die contract), so :func:`chain_yield_vs_node` is fixed-seed
+bit-equivalent between ``vectorized=True`` and ``False`` to float64
+round-off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..robust.errors import ModelDomainError
+from ..robust.validate import (check_count, check_finite, check_fraction,
+                               check_non_negative, check_positive, validated)
+from ..technology.library import all_nodes
+from ..technology.node import TechnologyNode
+from ..variability.pelgrom import (offset_sigma_diff_pair,
+                                   sigma_capacitor_mismatch,
+                                   sigma_resistor_mismatch)
+from ..variability.statistical import (MonteCarloSampler, SampledDie,
+                                       VariationSpec)
+from .circuits import OtaDesign
+from .metrics import (LinearityReport, SpectralReport, histogram_linearity,
+                      histogram_linearity_batch, spectral_metrics,
+                      spectral_metrics_batch, transfer_linearity,
+                      transfer_linearity_batch)
+from .switched_capacitor import ScAmplifier, design_sc_stage
+
+__all__ = [
+    "ChainDesign", "ChainSpec", "ChainSignoff",
+    "R2rDac", "SarAdc", "SignalChain",
+    "chain_signoff", "chain_signoff_batch", "chain_yield_vs_node",
+]
+
+ArrayOrFloat = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class ChainDesign:
+    """Sizing of the chain, in multiples of the node's feature size.
+
+    Expressing the component dimensions in units of L is what makes
+    the same design degrade across the roadmap: the drawn devices
+    shrink with the node, so Pelgrom sigmas grow as 1/L while the LSB
+    (proportional to the supply) shrinks -- the paper's analog-scaling
+    squeeze, reproduced at chain level.
+    """
+
+    n_bits: int = 8
+    resistor_width: float = 8.0     # R-2R unit resistor W / L
+    resistor_length: float = 64.0
+    cap_side: float = 12.0          # SAR unit cap side / L
+    comparator_width: float = 64.0  # comparator input pair W / L
+    comparator_length: float = 8.0
+    sc_gain: float = 1.0            # SC-stage closed-loop gain C_s/C_f
+    sampling_capacitance: float = 1e-12  # SC sampling cap [F]
+    ota: Optional[OtaDesign] = None      # None -> default sizing
+
+    def __post_init__(self) -> None:
+        n_bits = check_count("n_bits", self.n_bits, minimum=2)
+        if n_bits > 14:
+            raise ModelDomainError(
+                f"n_bits must be <= 14 (behavioral sweep memory), "
+                f"got {n_bits}")
+        for name in ("resistor_width", "resistor_length", "cap_side",
+                     "comparator_width", "comparator_length", "sc_gain",
+                     "sampling_capacitance"):
+            check_positive(name, getattr(self, name))
+
+    def ota_for(self, node: TechnologyNode) -> OtaDesign:
+        """The OTA sizing used for the SC stage at ``node``.
+
+        The default is a moderate-gain 5T sizing in units of L, so it
+        stays manufacturable (and evaluable) at every roadmap node.
+        """
+        if self.ota is not None:
+            return self.ota
+        scale = node.feature_size
+        return OtaDesign(input_width=80.0 * scale,
+                         input_length=4.0 * scale,
+                         load_width=40.0 * scale,
+                         load_length=4.0 * scale,
+                         tail_current=1e-4)
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """Pass/fail limits of the sign-off, in LSB and bits."""
+
+    dnl_limit: float = 0.5   # max |DNL| [LSB], DAC and ADC
+    inl_limit: float = 1.0   # max |INL| [LSB], DAC and ADC
+    enob_min: Optional[float] = None  # None -> n_bits - 1.5
+
+    def __post_init__(self) -> None:
+        check_positive("dnl_limit", self.dnl_limit)
+        check_positive("inl_limit", self.inl_limit)
+        if self.enob_min is not None:
+            check_finite("enob_min", self.enob_min)
+
+    def enob_floor(self, n_bits: int) -> float:
+        """The effective ENOB limit for an ``n_bits`` chain."""
+        if self.enob_min is not None:
+            return self.enob_min
+        return n_bits - 1.5
+
+
+@dataclass(frozen=True)
+class ChainSignoff:
+    """Result of one chain sign-off (scalar die or whole batch).
+
+    From the scalar path the summary fields are plain floats/bools;
+    from the batched path they carry a leading ``n_dies`` axis.
+    ``monotonic`` is the end-to-end code-in/code-out sweep check;
+    ``passed`` is the full spec conjunction
+    P(DNL < limit ∧ INL < limit ∧ monotonic ∧ ENOB >= floor).
+    """
+
+    node: str
+    dac: LinearityReport
+    adc: LinearityReport
+    spectral: SpectralReport
+    monotonic: Union[bool, np.ndarray]
+    passed: Union[bool, np.ndarray]
+
+
+@dataclass(frozen=True)
+class R2rDac:
+    """Behavioral N-bit R-2R ladder DAC in the fraction domain.
+
+    ``weights[i]`` is the effective conductance weight of bit ``i``
+    (ideal ``2**i``); ``termination`` closes the ladder (ideal 1).
+    The output for a code is the connected-weight fraction
+    ``sum(b_i * w_i) / (sum(w_i) + termination)`` -- exactly
+    ``code / 2**N`` for ideal weights, which float64 stores exactly.
+
+    Fields may carry a leading die axis ``(n_dies, ...)``: the same
+    instance then evaluates a whole Monte Carlo batch elementwise.
+    """
+
+    n_bits: int
+    weights: np.ndarray        # (..., n_bits) leg weights
+    termination: ArrayOrFloat  # (...,) termination weight
+
+    def __post_init__(self) -> None:
+        check_count("n_bits", self.n_bits, minimum=2)
+        weights = np.asarray(self.weights, dtype=float)
+        if weights.shape[-1] != self.n_bits:
+            raise ModelDomainError(
+                f"weights must have trailing size n_bits="
+                f"{self.n_bits}, got shape {weights.shape}")
+        check_non_negative("weights", weights)
+        check_positive("termination", self.termination)
+
+    @classmethod
+    def ideal(cls, n_bits: int = 8) -> "R2rDac":
+        """Perfectly matched ladder: weight ``2**i``, termination 1."""
+        return cls(n_bits=n_bits,
+                   weights=2.0 ** np.arange(n_bits),
+                   termination=1.0)
+
+    def levels(self) -> np.ndarray:
+        """Output fractions for every code, ``(..., 2**n_bits)``."""
+        weights = np.asarray(self.weights, dtype=float)
+        bits = _bit_matrix(self.n_bits)
+        numerator = (weights[..., None, :] * bits).sum(axis=-1)
+        total = weights.sum(axis=-1) + np.asarray(
+            self.termination, dtype=float)
+        return numerator / total[..., None]
+
+    def convert(self, codes: np.ndarray) -> np.ndarray:
+        """Output fractions for an integer code sequence."""
+        return self.levels()[..., np.asarray(codes, dtype=np.int64)]
+
+
+@dataclass(frozen=True)
+class SarAdc:
+    """Behavioral N-bit SAR ADC in the fraction domain.
+
+    ``weights[i]`` is the bit-``i`` cap-DAC weight (ideal ``2**i``),
+    ``termination`` the dummy LSB cap (ideal 1) and ``offset`` the
+    comparator offset as a fraction of full scale.  Conversion is the
+    textbook MSB-first successive approximation: trial threshold
+    ``(settled + w_j) / total`` against the held input.  Like
+    :class:`R2rDac`, fields may carry a leading die axis.
+    """
+
+    n_bits: int
+    weights: np.ndarray        # (..., n_bits) cap-DAC weights
+    termination: ArrayOrFloat  # (...,) dummy LSB cap weight
+    offset: ArrayOrFloat = 0.0  # (...,) comparator offset [FS]
+
+    def __post_init__(self) -> None:
+        check_count("n_bits", self.n_bits, minimum=2)
+        weights = np.asarray(self.weights, dtype=float)
+        if weights.shape[-1] != self.n_bits:
+            raise ModelDomainError(
+                f"weights must have trailing size n_bits="
+                f"{self.n_bits}, got shape {weights.shape}")
+        check_non_negative("weights", weights)
+        check_positive("termination", self.termination)
+        check_finite("offset", self.offset)
+
+    @classmethod
+    def ideal(cls, n_bits: int = 8) -> "SarAdc":
+        """Perfectly matched cap DAC, zero comparator offset."""
+        return cls(n_bits=n_bits,
+                   weights=2.0 ** np.arange(n_bits),
+                   termination=1.0, offset=0.0)
+
+    def convert(self, values: np.ndarray) -> np.ndarray:
+        """SAR-convert input fractions to integer codes.
+
+        ``values`` broadcasts against the die axis: a shared 1-D ramp
+        against batched weights yields ``(n_dies, n_points)`` codes.
+        Out-of-range inputs saturate at code 0 / full scale, as the
+        comparator chain would.
+        """
+        weights = np.asarray(self.weights, dtype=float)
+        batched = weights.ndim > 1
+        total = weights.sum(axis=-1) + np.asarray(
+            self.termination, dtype=float)
+        offset = np.asarray(self.offset, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if batched:
+            held = values + offset[..., None]
+            total = total[..., None]
+        else:
+            held = values + offset
+        settled = np.zeros_like(held)
+        codes = np.zeros(held.shape, dtype=np.int64)
+        for j in range(self.n_bits - 1, -1, -1):
+            trial = settled + (weights[..., j:j + 1] if batched
+                               else weights[j])
+            keep = held >= trial / total
+            settled = np.where(keep, trial, settled)
+            codes += keep.astype(np.int64) * (1 << j)
+        return codes
+
+
+def _bit_matrix(n_bits: int) -> np.ndarray:
+    """The ``(2**n, n)`` matrix of code bits, LSB first, as floats."""
+    codes = np.arange(2 ** n_bits, dtype=np.int64)
+    return ((codes[:, None] >> np.arange(n_bits)) & 1).astype(float)
+
+
+def _midstep_ramp(n_bits: int, n_per_code: int) -> np.ndarray:
+    """Uniform full-scale ramp hitting each code bin ``n_per_code``
+    times at mid-step phase.
+
+    With ``n_per_code`` a power of two every sample is an odd-numerator
+    dyadic that can never tie an ideal SAR threshold, so the ideal
+    histogram is exactly uniform.
+    """
+    n_points = 2 ** n_bits * n_per_code
+    return (np.arange(n_points, dtype=float) + 0.5) / n_points
+
+
+def _sine_codes(n_bits: int, n_samples: int, cycles: int,
+                amplitude_fraction: float) -> np.ndarray:
+    """DAC input codes of the coherent test sine (die-independent)."""
+    t = np.arange(n_samples, dtype=float)
+    wave = 0.5 + 0.5 * amplitude_fraction * np.sin(
+        2.0 * np.pi * cycles * t / n_samples)
+    return np.round((2 ** n_bits - 1) * wave).astype(np.int64)
+
+
+def _sc_gain_error(node: TechnologyNode,
+                   design: ChainDesign) -> tuple:
+    """(alpha0, dalpha/dVT, stage): SC finite-gain error at ``node``.
+
+    alpha = 1/(1 + A0*beta) is the classical closed-loop static gain
+    error of an SC stage; the slope against the die's global V_T shift
+    comes from re-evaluating the OTA engine at a shifted node, so the
+    inter-die sensitivity is the sizing engine's, not a guess.
+    """
+    ota = design.ota_for(node)
+    stage = design_sc_stage(node, ota, design.sampling_capacitance,
+                            gain=design.sc_gain)
+    beta = stage.feedback_factor
+
+    def alpha(evaluated: ScAmplifier) -> float:
+        return 1.0 / (1.0 + 10.0 ** (evaluated.ota.gain_db / 20.0) * beta)
+
+    delta_vth = 5e-3
+    shifted_node = node.with_overrides(
+        name=f"{node.name}+dvth", vth=node.vth + delta_vth)
+    shifted = design_sc_stage(shifted_node, ota,
+                              design.sampling_capacitance,
+                              gain=design.sc_gain)
+    alpha0 = alpha(stage)
+    slope = (alpha(shifted) - alpha0) / delta_vth
+    return alpha0, slope, stage
+
+
+def _mismatch_sigmas(node: TechnologyNode,
+                     design: ChainDesign) -> tuple:
+    """(sigma_R, sigma_C, sigma_gain, sigma_offset_fs) at ``node``."""
+    scale = node.feature_size
+    sigma_r = sigma_resistor_mismatch(
+        node, design.resistor_width * scale,
+        design.resistor_length * scale)
+    sigma_c = sigma_capacitor_mismatch(
+        node, design.cap_side * scale, design.cap_side * scale)
+    # The SC closed-loop gain is a two-cap ratio: sqrt(2) worse than
+    # a single cap pair's sigma.
+    sigma_gain = math.sqrt(2.0) * sigma_c
+    sigma_offset = offset_sigma_diff_pair(
+        node, design.comparator_width * scale,
+        design.comparator_length * scale) / node.vdd
+    return sigma_r, sigma_c, sigma_gain, sigma_offset
+
+
+#: Standard normals consumed per die beyond ``n_bits``-dependent legs:
+#: DAC termination, SC gain, ADC termination, comparator offset.
+_EXTRA_DRAWS = 4
+
+
+def _draws_per_die(n_bits: int) -> int:
+    """Mismatch draws per die: DAC legs + ADC caps + 4 singletons."""
+    return 2 * n_bits + _EXTRA_DRAWS
+
+
+@dataclass(frozen=True)
+class SignalChain:
+    """The composed DAC -> SC filter -> ADC signal path at one node.
+
+    ``sc_gain_eff`` is the die's effective closed-loop gain; the
+    filter is applied about mid-scale,
+    ``f + (g - 1) * (f - 1/2)``, so an exactly-unity gain passes
+    fractions through bit-identically.  Fields may carry a leading die
+    axis, in which case :meth:`signoff` runs the batched metrics.
+    """
+
+    node: TechnologyNode
+    design: ChainDesign
+    dac: R2rDac
+    adc: SarAdc
+    sc_gain_eff: ArrayOrFloat
+    sc_stage: Optional[ScAmplifier] = None
+
+    def __post_init__(self) -> None:
+        check_positive("sc_gain_eff", self.sc_gain_eff)
+
+    @classmethod
+    def ideal(cls, node: TechnologyNode,
+              design: Optional[ChainDesign] = None) -> "SignalChain":
+        """Mismatch-free chain: the sign-off's exact-zero reference."""
+        design = design if design is not None else ChainDesign()
+        return cls(node=node, design=design,
+                   dac=R2rDac.ideal(design.n_bits),
+                   adc=SarAdc.ideal(design.n_bits),
+                   sc_gain_eff=design.sc_gain)
+
+    @classmethod
+    def from_die(cls, node: TechnologyNode, design: ChainDesign,
+                 die: SampledDie) -> "SignalChain":
+        """One die's chain: the scalar Monte Carlo oracle.
+
+        Consumes exactly ``2 * n_bits + 4`` standard normals from the
+        die's spawned generator in a fixed order (DAC legs LSB-first,
+        DAC termination, SC gain, ADC caps LSB-first, ADC termination,
+        comparator offset) -- the contract the batched path replays.
+        """
+        if die.rng is None:
+            raise ModelDomainError(
+                "die.rng is unset; draw dies from MonteCarloSampler."
+                "sample_die() for chain sampling")
+        draws = die.rng.standard_normal(_draws_per_die(design.n_bits))
+        return cls._from_draws(node, design, die.vth_global, draws)
+
+    @classmethod
+    def _from_draws(cls, node: TechnologyNode, design: ChainDesign,
+                    vth_global: ArrayOrFloat,
+                    draws: np.ndarray) -> "SignalChain":
+        """Shared scalar/batched construction from mismatch draws.
+
+        ``draws`` is ``(2*n_bits + 4,)`` or ``(n_dies, 2*n_bits + 4)``;
+        every operation is elementwise over the leading axis, so batch
+        row ``d`` is bit-identical to the scalar die ``d``.
+        """
+        n_bits = design.n_bits
+        sigma_r, sigma_c, sigma_gain, sigma_offset = _mismatch_sigmas(
+            node, design)
+        alpha0, alpha_slope, stage = _sc_gain_error(node, design)
+        powers = 2.0 ** np.arange(n_bits)
+        # A 2**i-unit leg is a parallel combination: sigma / sqrt(2**i).
+        derate = 1.0 / np.sqrt(powers)
+        vth_global = np.asarray(vth_global, dtype=float)
+        dac = R2rDac(
+            n_bits=n_bits,
+            weights=powers * (1.0 + sigma_r * derate
+                              * draws[..., :n_bits]),
+            termination=1.0 + sigma_r * draws[..., n_bits])
+        gain = design.sc_gain \
+            * (1.0 + sigma_gain * draws[..., n_bits + 1]) \
+            * (1.0 - (alpha0 + alpha_slope * vth_global))
+        adc = SarAdc(
+            n_bits=n_bits,
+            weights=powers * (1.0 + sigma_c * derate
+                              * draws[..., n_bits + 2:2 * n_bits + 2]),
+            termination=1.0 + sigma_c * draws[..., 2 * n_bits + 2],
+            offset=sigma_offset * draws[..., 2 * n_bits + 3])
+        return cls(node=node, design=design, dac=dac, adc=adc,
+                   sc_gain_eff=gain, sc_stage=stage)
+
+    def with_shorted_leg(self, leg: int) -> "SignalChain":
+        """Chain with DAC ladder leg ``leg`` shorted out (weight 0).
+
+        The known-fault injection hook: killing bit ``leg`` collapses
+        ``2**leg`` codes onto their neighbours, an INL signature of
+        about ``2**leg`` LSB that the sign-off must flag.
+        """
+        leg = check_count("leg", leg, minimum=0)
+        if leg >= self.design.n_bits:
+            raise ModelDomainError(
+                f"leg must be below n_bits={self.design.n_bits}, "
+                f"got {leg}")
+        weights = np.array(self.dac.weights, dtype=float, copy=True)
+        weights[..., leg] = 0.0
+        return replace(self, dac=replace(self.dac, weights=weights))
+
+    def through_filter(self, fractions: np.ndarray) -> np.ndarray:
+        """Apply the SC stage about mid-scale (gain error only)."""
+        gain = np.asarray(self.sc_gain_eff, dtype=float)
+        if gain.ndim:
+            gain = gain[..., None]
+        return fractions + (gain - 1.0) * (fractions - 0.5)
+
+    def signoff(self, spec: Optional[ChainSpec] = None,
+                n_ramp_per_code: int = 16, n_fft: int = 1024,
+                cycles: int = 67,
+                amplitude_fraction: float = 0.9) -> ChainSignoff:
+        """Run the full sign-off on this chain (die or batch).
+
+        * DAC static linearity: DC sweep of all ladder levels
+          (:func:`~repro.analog.metrics.transfer_linearity`);
+        * ADC static linearity: dense mid-step ramp histogram
+          (:func:`~repro.analog.metrics.histogram_linearity`) --
+          applied to the ADC directly, as a bench ramp would be;
+        * end-to-end monotonicity: every code through
+          DAC -> filter -> ADC;
+        * dynamic ENOB/SNDR/SFDR: coherent sine through the full
+          chain (:func:`~repro.analog.metrics.spectral_metrics`).
+        """
+        spec = spec if spec is not None else ChainSpec()
+        n_ramp_per_code = check_count("n_ramp_per_code",
+                                      n_ramp_per_code)
+        n_fft = check_count("n_fft", n_fft, minimum=64)
+        cycles = check_count("cycles", cycles)
+        check_fraction("amplitude_fraction", amplitude_fraction)
+        n_bits = self.design.n_bits
+        batched = np.asarray(self.dac.weights).ndim > 1
+
+        dac_levels = self.dac.levels()
+        ramp_codes = self.adc.convert(_midstep_ramp(n_bits,
+                                                    n_ramp_per_code))
+        sweep_codes = self.adc.convert(self.through_filter(dac_levels))
+        monotonic = np.all(np.diff(sweep_codes, axis=-1) >= 0, axis=-1)
+        sine_in = dac_levels[..., _sine_codes(n_bits, n_fft, cycles,
+                                              amplitude_fraction)]
+        sine_out = self.adc.convert(
+            self.through_filter(sine_in)).astype(float)
+
+        full_scale = float(2 ** n_bits - 1)
+        if batched:
+            dac_report = transfer_linearity_batch(dac_levels)
+            adc_report = histogram_linearity_batch(ramp_codes, n_bits)
+            spectral = spectral_metrics_batch(sine_out, cycles,
+                                              full_scale=full_scale)
+        else:
+            dac_report = transfer_linearity(dac_levels)
+            adc_report = histogram_linearity(ramp_codes, n_bits)
+            spectral = spectral_metrics(sine_out, cycles,
+                                        full_scale=full_scale)
+        passed = _meets_spec(spec, n_bits, dac_report, adc_report,
+                             spectral, monotonic)
+        if not batched:
+            monotonic = bool(monotonic)
+            passed = bool(passed)
+        return ChainSignoff(node=self.node.name, dac=dac_report,
+                            adc=adc_report, spectral=spectral,
+                            monotonic=monotonic, passed=passed)
+
+
+def _meets_spec(spec: ChainSpec, n_bits: int, dac: LinearityReport,
+                adc: LinearityReport, spectral: SpectralReport,
+                monotonic) -> np.ndarray:
+    """Spec conjunction, elementwise over the die axis if present."""
+    ok = np.asarray(dac.dnl_max) <= spec.dnl_limit
+    ok = ok & (np.asarray(dac.inl_max) <= spec.inl_limit)
+    ok = ok & (np.asarray(adc.dnl_max) <= spec.dnl_limit)
+    ok = ok & (np.asarray(adc.inl_max) <= spec.inl_limit)
+    ok = ok & np.asarray(monotonic)
+    ok = ok & (np.asarray(spectral.enob) >= spec.enob_floor(n_bits))
+    return ok
+
+
+@validated(_result_finite=True, n_ramp_per_code="count", n_fft="count",
+           cycles="count", amplitude_fraction="fraction")
+def chain_signoff(node: TechnologyNode,
+                  design: Optional[ChainDesign] = None,
+                  spec: Optional[ChainSpec] = None,
+                  die: Optional[SampledDie] = None,
+                  n_ramp_per_code: int = 16, n_fft: int = 1024,
+                  cycles: int = 67,
+                  amplitude_fraction: float = 0.9) -> ChainSignoff:
+    """Sign off one chain instance at ``node`` (scalar oracle).
+
+    Without a ``die`` the ideal chain is evaluated -- which must (and
+    does, exactly) report zero DNL/INL and a monotonic transfer.  With
+    a die from :meth:`MonteCarloSampler.sample_die`, the die's
+    mismatch draws parameterize the chain first.
+    """
+    design = design if design is not None else ChainDesign()
+    chain = (SignalChain.ideal(node, design) if die is None
+             else SignalChain.from_die(node, design, die))
+    return chain.signoff(spec, n_ramp_per_code=n_ramp_per_code,
+                         n_fft=n_fft, cycles=cycles,
+                         amplitude_fraction=amplitude_fraction)
+
+
+@validated(_result_finite=True, n_dies="count", n_ramp_per_code="count",
+           n_fft="count", cycles="count", amplitude_fraction="fraction")
+def chain_signoff_batch(sampler: MonteCarloSampler,
+                        design: Optional[ChainDesign] = None,
+                        spec: Optional[ChainSpec] = None,
+                        n_dies: int = 64,
+                        n_ramp_per_code: int = 16, n_fft: int = 1024,
+                        cycles: int = 67,
+                        amplitude_fraction: float = 0.9
+                        ) -> ChainSignoff:
+    """Sign off ``n_dies`` Monte Carlo chains in one batched pass.
+
+    Replays the scalar path's RNG contract exactly: the inter-die
+    shifts come from :meth:`MonteCarloSampler.sample_dies_batch` and
+    the per-die mismatch draws from the sampler's spawned children
+    (spawning advances only the child counter, never the parent bit
+    stream, so child ``d`` here is the very generator die ``d`` of the
+    scalar loop would own).  All result fields gain a leading
+    ``n_dies`` axis.
+    """
+    design = design if design is not None else ChainDesign()
+    batch = sampler.sample_dies_batch(n_dies)
+    children = sampler.rng.spawn(n_dies)
+    draws = np.stack([child.standard_normal(
+        _draws_per_die(design.n_bits)) for child in children])
+    chain = SignalChain._from_draws(sampler.node, design,
+                                    batch.vth_global, draws)
+    return chain.signoff(spec, n_ramp_per_code=n_ramp_per_code,
+                         n_fft=n_fft, cycles=cycles,
+                         amplitude_fraction=amplitude_fraction)
+
+
+@validated(_result_finite=True, n_dies="count", n_ramp_per_code="count",
+           n_fft="count", cycles="count", amplitude_fraction="fraction")
+def chain_yield_vs_node(nodes: Optional[Sequence[TechnologyNode]] = None,
+                        design: Optional[ChainDesign] = None,
+                        spec: Optional[ChainSpec] = None,
+                        n_dies: int = 64, seed: int = 0,
+                        variation: Optional[VariationSpec] = None,
+                        vectorized: bool = True,
+                        n_ramp_per_code: int = 16, n_fft: int = 1024,
+                        cycles: int = 67,
+                        amplitude_fraction: float = 0.9
+                        ) -> List[Dict[str, float]]:
+    """Chain sign-off yield across the roadmap: the paper's answer.
+
+    For each node, ``n_dies`` Monte Carlo chains are drawn with the
+    same seed and signed off; the yield is
+    P(DNL < limit ∧ INL < limit ∧ monotonic ∧ ENOB >= floor).  The
+    per-node sampler is re-seeded identically, so the trend isolates
+    the technology: the same design passes comfortably at 350 nm and
+    collapses towards 32 nm as Pelgrom sigmas outgrow the LSB.
+
+    ``vectorized=False`` runs the retained scalar per-die oracle;
+    both paths consume identical variates and agree to float64
+    round-off.
+    """
+    seed = check_count("seed", seed, minimum=0)
+    nodes = list(nodes) if nodes is not None else all_nodes()
+    if not nodes:
+        raise ModelDomainError("nodes must be a non-empty sequence")
+    design = design if design is not None else ChainDesign()
+    spec = spec if spec is not None else ChainSpec()
+    variation = variation if variation is not None else VariationSpec()
+    rows: List[Dict[str, float]] = []
+    for node in nodes:
+        sampler = MonteCarloSampler(node, spec=variation, seed=seed)
+        if vectorized:
+            result = chain_signoff_batch(
+                sampler, design=design, spec=spec, n_dies=n_dies,
+                n_ramp_per_code=n_ramp_per_code, n_fft=n_fft,
+                cycles=cycles, amplitude_fraction=amplitude_fraction)
+            passed = np.asarray(result.passed)
+            enob = np.asarray(result.spectral.enob, dtype=float)
+            dnl_worst = float(max(np.max(result.dac.dnl_max),
+                                  np.max(result.adc.dnl_max)))
+            inl_worst = float(max(np.max(result.dac.inl_max),
+                                  np.max(result.adc.inl_max)))
+            n_pass = int(np.count_nonzero(passed))
+        else:
+            dies = [chain_signoff(
+                node, design=design, spec=spec,
+                die=sampler.sample_die(),
+                n_ramp_per_code=n_ramp_per_code, n_fft=n_fft,
+                cycles=cycles, amplitude_fraction=amplitude_fraction)
+                for _ in range(n_dies)]
+            enob = np.array([d.spectral.enob for d in dies])
+            dnl_worst = max(max(d.dac.dnl_max, d.adc.dnl_max)
+                            for d in dies)
+            inl_worst = max(max(d.dac.inl_max, d.adc.inl_max)
+                            for d in dies)
+            n_pass = sum(1 for d in dies if d.passed)
+        rows.append({
+            "node": node.name,
+            "n_dies": float(n_dies),
+            "yield_fraction": n_pass / n_dies,
+            "enob_mean": float(enob.mean()),
+            "enob_min": float(enob.min()),
+            "dnl_worst_lsb": float(dnl_worst),
+            "inl_worst_lsb": float(inl_worst),
+        })
+    return rows

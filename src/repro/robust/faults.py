@@ -173,6 +173,8 @@ def default_registry() -> List[ApiSpec]:
     Imports lazily so ``repro.robust`` stays import-light and free of
     circular dependencies.
     """
+    from ..analog import chain as achain
+    from ..analog import metrics as ametrics
     from ..analog import tradeoff
     from ..devices import leakage
     from ..devices.mosfet import Mosfet
@@ -253,6 +255,18 @@ def default_registry() -> List[ApiSpec]:
             activity=activity,
             stack=ThermalStack(rth_junction_to_ambient=rth),
             max_iterations=8)
+
+    coherent_record = np.sin(
+        2.0 * np.pi * 5.0 * np.arange(128) / 128.0)
+    ramp_codes_2bit = np.repeat(np.arange(4), 4)
+
+    def chain_batch(n_dies: Any, n_ramp_per_code: Any, n_fft: Any,
+                    cycles: Any, amplitude_fraction: float) -> Any:
+        sampler = MonteCarloSampler(node, seed=23)
+        return achain.chain_signoff_batch(
+            sampler, n_dies=n_dies, n_ramp_per_code=n_ramp_per_code,
+            n_fft=n_fft, cycles=cycles,
+            amplitude_fraction=amplitude_fraction)
 
     timing_netlist = ripple_adder(node, width=2)
 
@@ -409,6 +423,59 @@ def default_registry() -> List[ApiSpec]:
                 lambda **kw: pelgrom.offset_sigma_diff_pair(node, **kw),
                 {"width": 10 * f, "length": 2 * f, "gm_over_id": 10.0},
                 ("width", "length", "gm_over_id")),
+        ApiSpec("variability.pelgrom.sigma_resistor_mismatch",
+                lambda **kw: pelgrom.sigma_resistor_mismatch(node, **kw),
+                {"width": 8 * f, "length": 64 * f},
+                ("width", "length", "matching_coefficient")),
+        ApiSpec("variability.pelgrom.sigma_capacitor_mismatch",
+                lambda **kw: pelgrom.sigma_capacitor_mismatch(node, **kw),
+                {"width": 12 * f, "length": 12 * f},
+                ("width", "length", "matching_coefficient")),
+        ApiSpec("analog.metrics.transfer_linearity",
+                ametrics.transfer_linearity,
+                {"levels": [0.0, 0.25, 0.5, 0.75, 1.0]},
+                ("levels",)),
+        ApiSpec("analog.metrics.transfer_linearity_batch",
+                ametrics.transfer_linearity_batch,
+                {"levels": [[0.0, 0.25, 0.5, 0.75, 1.0],
+                            [0.0, 0.3, 0.5, 0.7, 1.0]]},
+                ("levels",)),
+        ApiSpec("analog.metrics.histogram_linearity",
+                ametrics.histogram_linearity,
+                {"codes": ramp_codes_2bit, "n_bits": 2},
+                ("codes", "n_bits")),
+        ApiSpec("analog.metrics.histogram_linearity_batch",
+                ametrics.histogram_linearity_batch,
+                {"codes": np.stack([ramp_codes_2bit, ramp_codes_2bit]),
+                 "n_bits": 2},
+                ("codes", "n_bits")),
+        ApiSpec("analog.metrics.spectral_metrics",
+                ametrics.spectral_metrics,
+                {"signal": coherent_record, "cycles": 5,
+                 "full_scale": 2.0},
+                ("signal", "cycles", "full_scale")),
+        ApiSpec("analog.metrics.spectral_metrics_batch",
+                ametrics.spectral_metrics_batch,
+                {"signals": np.stack([coherent_record,
+                                      -coherent_record]),
+                 "cycles": 5, "full_scale": 2.0},
+                ("signals", "cycles", "full_scale")),
+        ApiSpec("analog.chain.chain_signoff",
+                lambda **kw: achain.chain_signoff(node, **kw),
+                {"n_ramp_per_code": 4, "n_fft": 256, "cycles": 67,
+                 "amplitude_fraction": 0.9},
+                ("n_ramp_per_code", "n_fft", "cycles",
+                 "amplitude_fraction")),
+        ApiSpec("analog.chain.chain_signoff_batch", chain_batch,
+                {"n_dies": 4, "n_ramp_per_code": 4, "n_fft": 256,
+                 "cycles": 67, "amplitude_fraction": 0.9},
+                ("n_dies", "n_ramp_per_code", "n_fft", "cycles",
+                 "amplitude_fraction")),
+        ApiSpec("analog.chain.chain_yield_vs_node",
+                lambda **kw: achain.chain_yield_vs_node(
+                    nodes=[node], n_ramp_per_code=4, n_fft=256, **kw),
+                {"n_dies": 3, "seed": 1, "amplitude_fraction": 0.9},
+                ("n_dies", "seed", "amplitude_fraction")),
         ApiSpec("variability.dopants.channel_dopant_count",
                 lambda **kw: dopants.channel_dopant_count(node, **kw),
                 {"width": 2 * f, "length": f},

@@ -21,8 +21,10 @@ from .pelgrom import (
     area_for_matching,
     matching_area_trend,
     offset_sigma_diff_pair,
+    sigma_capacitor_mismatch,
     sigma_delta_beta,
     sigma_delta_vth,
+    sigma_resistor_mismatch,
 )
 from .spatial import (
     SpatialSpec,
@@ -50,8 +52,9 @@ __all__ = [
     "LerParameters", "current_spread_from_ler", "effective_length_profile",
     "generate_edge", "relative_ler_trend",
     "MismatchSample", "MismatchSampler", "area_for_matching",
-    "matching_area_trend", "offset_sigma_diff_pair", "sigma_delta_beta",
-    "sigma_delta_vth",
+    "matching_area_trend", "offset_sigma_diff_pair",
+    "sigma_capacitor_mismatch", "sigma_delta_beta", "sigma_delta_vth",
+    "sigma_resistor_mismatch",
     "SpatialSpec", "VtMap", "common_centroid_benefit",
     "matching_vs_distance", "sample_vt_map",
     "DieBatch", "MonteCarloSampler", "SampledDevice", "SampledDie",

@@ -120,6 +120,44 @@ class MismatchSampler:
 
 
 @validated(_result_finite=True, width="positive", length="positive",
+           matching_coefficient="positive")
+def sigma_resistor_mismatch(node: TechnologyNode, width: float,
+                            length: float,
+                            matching_coefficient: Optional[float] = None
+                            ) -> float:
+    """Pelgrom sigma of the relative mismatch of a resistor pair.
+
+    Same area law as device matching: sigma(dR/R) = A_R / sqrt(W*L).
+    Poly/diffusion resistors match roughly 2x worse than MOS current
+    factors at equal area, so ``matching_coefficient`` [m] defaults to
+    ``2 * node.abeta``.  This is the per-leg error source of the R-2R
+    DAC in :mod:`repro.analog.chain`.
+    """
+    a_r = (2.0 * node.abeta if matching_coefficient is None
+           else matching_coefficient)
+    return a_r / math.sqrt(width * length)
+
+
+@validated(_result_finite=True, width="positive", length="positive",
+           matching_coefficient="positive")
+def sigma_capacitor_mismatch(node: TechnologyNode, width: float,
+                             length: float,
+                             matching_coefficient: Optional[float] = None
+                             ) -> float:
+    """Pelgrom sigma of the relative mismatch of a capacitor pair.
+
+    sigma(dC/C) = A_C / sqrt(W*L) with ``matching_coefficient`` [m]
+    defaulting to ``node.abeta`` (MIM/MOM caps match about as well as
+    MOS current factors).  Feeds the SAR cap-DAC mismatch in
+    :mod:`repro.analog.chain`; a unit cap of ``2**i`` parallel units
+    de-rates by ``sqrt(2**i)`` exactly like any parallel combination.
+    """
+    a_c = node.abeta if matching_coefficient is None \
+        else matching_coefficient
+    return a_c / math.sqrt(width * length)
+
+
+@validated(_result_finite=True, width="positive", length="positive",
            gm_over_id="positive")
 def offset_sigma_diff_pair(node: TechnologyNode, width: float,
                            length: float, gm_over_id: float = 10.0,

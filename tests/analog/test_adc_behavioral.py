@@ -90,10 +90,62 @@ class TestSineTest:
         with pytest.raises(ValueError):
             sine_test(ideal, n_samples=2048, cycles=64)
 
+    def test_fractional_cycles_rejected(self, ideal):
+        """Non-integer bin counts would leak; now a typed error."""
+        from repro.robust import ReproError
+        with pytest.raises(ReproError):
+            sine_test(ideal, n_samples=2048, cycles=66.5)
+
+    def test_cycles_beyond_nyquist_rejected(self, ideal):
+        """Used to crash with IndexError past the rfft length."""
+        from repro.robust import ReproError
+        with pytest.raises(ReproError):
+            sine_test(ideal, n_samples=1024, cycles=513)
+        with pytest.raises(ReproError):
+            sine_test(ideal, n_samples=1024, cycles=1025)
+
     def test_corrected_output_requires_calibration(self, node):
         adc = PipelineAdc(node, n_stages=4)
         with pytest.raises(RuntimeError):
             adc.corrected_output(np.array([0.0]))
+
+
+class TestSineTestRegression:
+    """Fixed-seed ENOB pins for the coherent-sampling sine test.
+
+    These exact values (pinned after the coherence fix) guard against
+    any future spectral-formula drift -- leakage bias, window changes
+    or bin-bookkeeping regressions all move them.
+    """
+
+    def test_mismatched_adc_pinned(self, node):
+        adc = PipelineAdc(node,
+                          device_area=(4 * node.feature_size) ** 2,
+                          seed=3)
+        result = sine_test(adc, n_samples=1024, cycles=67)
+        assert result.sndr_db == pytest.approx(40.96004342693256,
+                                               abs=1e-9)
+        assert result.enob == pytest.approx(6.511635120752917,
+                                            abs=1e-9)
+
+    def test_calibrated_adc_pinned(self, node):
+        adc = PipelineAdc(node,
+                          device_area=(4 * node.feature_size) ** 2,
+                          seed=3)
+        result = sine_test(adc, n_samples=1024, cycles=67,
+                           calibrated=True)
+        assert result.sndr_db == pytest.approx(53.89751251907142,
+                                               abs=1e-9)
+        assert result.enob == pytest.approx(8.660716365294256,
+                                            abs=1e-9)
+
+    def test_ideal_adc_pinned(self, node):
+        result = sine_test(PipelineAdc(node), n_samples=1024,
+                           cycles=67)
+        assert result.sndr_db == pytest.approx(61.194798837898155,
+                                               abs=1e-9)
+        assert result.enob == pytest.approx(9.872890172408333,
+                                            abs=1e-9)
 
 
 class TestEnobVsArea:

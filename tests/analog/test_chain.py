@@ -1,0 +1,178 @@
+"""Tests for the DAC -> SC filter -> ADC behavioral chain blocks."""
+
+import numpy as np
+import pytest
+
+from repro.analog import (ChainDesign, ChainSpec, R2rDac, SarAdc,
+                          SignalChain, chain_signoff)
+from repro.robust import ReproError
+from repro.technology import get_node
+from repro.variability import MonteCarloSampler
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_node("65nm")
+
+
+class TestR2rDac:
+    def test_ideal_levels_are_exact_dyadics(self):
+        dac = R2rDac.ideal(8)
+        levels = dac.levels()
+        np.testing.assert_array_equal(levels,
+                                      np.arange(256) / 256.0)
+
+    def test_convert_indexes_levels(self):
+        dac = R2rDac.ideal(4)
+        codes = np.array([0, 5, 15])
+        np.testing.assert_array_equal(dac.convert(codes),
+                                      codes / 16.0)
+
+    def test_mismatch_breaks_uniformity(self):
+        weights = 2.0 ** np.arange(8)
+        weights[7] *= 1.02  # 2% heavy MSB
+        dac = R2rDac(n_bits=8, weights=weights, termination=1.0)
+        steps = np.diff(dac.levels())
+        assert steps.max() / steps.min() > 1.5  # big step at 127->128
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            R2rDac(n_bits=8, weights=np.ones(4), termination=1.0)
+        with pytest.raises(ReproError):
+            R2rDac(n_bits=4, weights=-np.ones(4), termination=1.0)
+        with pytest.raises(ReproError):
+            R2rDac(n_bits=4, weights=np.ones(4), termination=0.0)
+
+
+class TestSarAdc:
+    def test_ideal_is_floor_quantizer(self):
+        adc = SarAdc.ideal(8)
+        values = (np.arange(1024) + 0.5) / 1024.0
+        codes = adc.convert(values)
+        np.testing.assert_array_equal(codes, np.arange(1024) // 4)
+
+    def test_round_trip_with_ideal_dac(self):
+        """ADC exactly inverts the DAC: the chain identity."""
+        dac, adc = R2rDac.ideal(8), SarAdc.ideal(8)
+        np.testing.assert_array_equal(adc.convert(dac.levels()),
+                                      np.arange(256))
+
+    def test_offset_shifts_codes(self):
+        adc = SarAdc(n_bits=8, weights=2.0 ** np.arange(8),
+                     termination=1.0, offset=4.0 / 256.0)
+        codes = adc.convert((np.arange(256) + 0.5) / 256.0)
+        assert codes[100] == 104
+
+    def test_out_of_range_saturates(self):
+        adc = SarAdc.ideal(8)
+        assert adc.convert(np.array([-0.5]))[0] == 0
+        assert adc.convert(np.array([1.5]))[0] == 255
+
+    def test_batched_weights_broadcast(self):
+        """A (n_dies, n_bits) ADC converts a shared ramp per die."""
+        weights = np.broadcast_to(2.0 ** np.arange(8),
+                                  (3, 8)).copy()
+        adc = SarAdc(n_bits=8, weights=weights,
+                     termination=np.ones(3),
+                     offset=np.array([0.0, 0.0, 1.0 / 256.0]))
+        ramp = (np.arange(512) + 0.5) / 512.0
+        codes = adc.convert(ramp)
+        assert codes.shape == (3, 512)
+        np.testing.assert_array_equal(codes[0], codes[1])
+        assert np.any(codes[2] != codes[0])
+
+
+class TestSignalChain:
+    def test_ideal_chain_is_identity(self, node):
+        chain = SignalChain.ideal(node)
+        codes = np.arange(256)
+        out = chain.adc.convert(
+            chain.through_filter(chain.dac.levels()))
+        np.testing.assert_array_equal(out, codes)
+
+    def test_unity_filter_is_bit_exact(self, node):
+        chain = SignalChain.ideal(node)
+        fractions = np.arange(256) / 256.0
+        filtered = chain.through_filter(fractions)
+        np.testing.assert_array_equal(filtered, fractions)
+
+    def test_from_die_reproducible(self, node):
+        design = ChainDesign()
+        a = SignalChain.from_die(
+            node, design, MonteCarloSampler(node, seed=5).sample_die())
+        b = SignalChain.from_die(
+            node, design, MonteCarloSampler(node, seed=5).sample_die())
+        np.testing.assert_array_equal(a.dac.weights, b.dac.weights)
+        assert a.sc_gain_eff == b.sc_gain_eff
+        assert a.adc.offset == b.adc.offset
+
+    def test_from_die_requires_generator(self, node):
+        from repro.variability import SampledDie, VariationSpec
+        bare = SampledDie(node=node, spec=VariationSpec(),
+                          vth_global=0.0, length_factor_global=1.0,
+                          tox_factor_global=1.0)
+        with pytest.raises(ReproError):
+            SignalChain.from_die(node, ChainDesign(), bare)
+
+    def test_shorted_leg_inl_signature(self, node):
+        """Killing DAC bit 6 leaves a ~2**6 LSB INL scar."""
+        chain = SignalChain.ideal(node).with_shorted_leg(6)
+        report = chain.signoff()
+        assert not report.passed
+        assert report.dac.inl_max > 30.0
+        assert report.dac.dnl_max > 30.0
+        assert not report.dac.monotonic
+
+    def test_shorted_lsb_leg_small_but_detectable(self, node):
+        chain = SignalChain.ideal(node).with_shorted_leg(0)
+        report = chain.signoff()
+        assert not report.passed
+        assert report.dac.dnl_max == pytest.approx(1.0, abs=0.05)
+
+    def test_shorted_leg_validation(self, node):
+        chain = SignalChain.ideal(node)
+        with pytest.raises(ReproError):
+            chain.with_shorted_leg(8)
+        with pytest.raises(ReproError):
+            chain.with_shorted_leg(-1)
+
+
+class TestChainSignoff:
+    def test_ideal_signoff_exact_zeros(self, node):
+        report = chain_signoff(node)
+        assert report.dac.dnl_max == 0.0
+        assert report.dac.inl_max == 0.0
+        assert report.adc.dnl_max == 0.0
+        assert report.adc.inl_max == 0.0
+        assert report.monotonic is True
+        assert report.passed is True
+
+    def test_ideal_enob_near_nominal(self, node):
+        report = chain_signoff(node)
+        # double quantization of a 0.9 FS sine: ~N - 0.15 bits
+        assert report.spectral.enob == pytest.approx(7.855, abs=0.05)
+
+    def test_spec_knobs_bind(self, node):
+        strict = ChainSpec(enob_min=9.0)
+        assert not chain_signoff(node, spec=strict).passed
+
+    def test_die_signoff_reports_mismatch(self, node):
+        die = MonteCarloSampler(node, seed=2).sample_die()
+        report = chain_signoff(node, die=die)
+        assert report.dac.dnl_max > 0.0
+        assert report.adc.dnl_max > 0.0
+        assert report.spectral.enob < 7.855
+
+    def test_validation(self, node):
+        with pytest.raises(ReproError):
+            chain_signoff(node, cycles=64)  # not coprime with 1024
+        with pytest.raises(ReproError):
+            chain_signoff(node, amplitude_fraction=1.5)
+        with pytest.raises(ReproError):
+            chain_signoff(node, n_fft=0)
+        with pytest.raises(ReproError):
+            ChainDesign(n_bits=1)
+        with pytest.raises(ReproError):
+            ChainDesign(sc_gain=-1.0)
+        with pytest.raises(ReproError):
+            ChainSpec(dnl_limit=0.0)

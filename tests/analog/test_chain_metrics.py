@@ -1,0 +1,181 @@
+"""Tests for the code-domain sign-off metrics (repro.analog.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.analog import (histogram_linearity, histogram_linearity_batch,
+                          spectral_metrics, spectral_metrics_batch,
+                          transfer_linearity, transfer_linearity_batch)
+from repro.robust import ReproError
+
+
+def ideal_levels(n_bits=6):
+    return np.arange(2 ** n_bits) / 2.0 ** n_bits
+
+
+def uniform_ramp_codes(n_bits=4, per_code=8):
+    return np.repeat(np.arange(2 ** n_bits), per_code)
+
+
+def coherent_sine(n=256, cycles=9, amplitude=1.0):
+    t = np.arange(n)
+    return amplitude * np.sin(2.0 * np.pi * cycles * t / n)
+
+
+class TestTransferLinearity:
+    def test_ideal_is_exactly_zero(self):
+        """Dyadic ideal levels: DNL and INL are exactly 0.0, not tiny."""
+        report = transfer_linearity(ideal_levels())
+        assert report.dnl_max == 0.0
+        assert report.inl_max == 0.0
+        assert np.all(report.dnl == 0.0)
+        assert np.all(report.inl == 0.0)
+        assert report.monotonic is True
+
+    def test_gain_and_offset_invariant(self):
+        """Endpoint-fit linearity ignores pure gain/offset errors."""
+        levels = 0.3 + 0.85 * ideal_levels()
+        report = transfer_linearity(levels)
+        assert report.dnl_max == pytest.approx(0.0, abs=1e-12)
+        assert report.inl_max == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_step_error(self):
+        """One step stretched by half an LSB shows up as DNL there."""
+        levels = np.arange(8.0)
+        levels[4:] += 0.5  # step 3->4 is 1.5 LSB of the old grid
+        report = transfer_linearity(levels)
+        big = np.argmax(np.abs(report.dnl))
+        assert big == 3
+        # endpoint lsb = 7.5/7; dnl of the long step = 1.5/lsb - 1
+        lsb = 7.5 / 7.0
+        assert report.dnl[3] == pytest.approx(1.5 / lsb - 1.0)
+
+    def test_nonmonotonic_flagged(self):
+        levels = np.array([0.0, 0.3, 0.2, 0.6, 1.0])
+        assert transfer_linearity(levels).monotonic is False
+
+    def test_typed_errors(self):
+        with pytest.raises(ReproError):
+            transfer_linearity(np.array([0.0, 1.0]))  # too short
+        with pytest.raises(ReproError):
+            transfer_linearity(np.array([1.0, 0.5, 0.2, 0.0]))  # span
+        with pytest.raises(ReproError):
+            transfer_linearity(np.array([0.0, np.nan, 0.5, 1.0]))
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        levels = np.sort(rng.uniform(0, 1, (5, 32)), axis=-1)
+        batch = transfer_linearity_batch(levels)
+        for d in range(5):
+            one = transfer_linearity(levels[d])
+            assert batch.dnl_max[d] == one.dnl_max
+            assert batch.inl_max[d] == one.inl_max
+            np.testing.assert_array_equal(batch.dnl[d], one.dnl)
+            assert bool(batch.monotonic[d]) == one.monotonic
+
+
+class TestHistogramLinearity:
+    def test_uniform_histogram_exactly_zero(self):
+        report = histogram_linearity(uniform_ramp_codes(), n_bits=4)
+        assert report.dnl_max == 0.0
+        assert report.inl_max == 0.0
+        assert report.monotonic is True
+
+    def test_wide_bin_positive_dnl(self):
+        codes = uniform_ramp_codes(n_bits=4, per_code=8)
+        codes = np.concatenate([codes, np.full(8, 5)])
+        codes.sort()
+        report = histogram_linearity(codes, n_bits=4)
+        # code 5 got twice the hits; interior mean grows slightly.
+        interior_mean = (14 * 8 + 8) / 14.0
+        assert report.dnl[4] == pytest.approx(16.0 / interior_mean - 1.0)
+        assert report.dnl_max == pytest.approx(
+            16.0 / interior_mean - 1.0)
+
+    def test_inl_is_cumulative_dnl(self):
+        rng = np.random.default_rng(1)
+        codes = np.sort(rng.integers(0, 16, size=2048))
+        report = histogram_linearity(codes, n_bits=4)
+        np.testing.assert_allclose(report.inl, np.cumsum(report.dnl))
+
+    def test_nonmonotonic_ramp_flagged(self):
+        codes = uniform_ramp_codes(n_bits=4)
+        codes[40], codes[41] = codes[41] + 1, codes[40] - 1
+        report = histogram_linearity(np.array(codes), n_bits=4)
+        assert report.monotonic is False
+
+    def test_typed_errors(self):
+        with pytest.raises(ReproError):
+            histogram_linearity(np.arange(4), n_bits=4)  # too short
+        with pytest.raises(ReproError):
+            histogram_linearity(np.full(64, 99), n_bits=4)  # range
+        with pytest.raises(ReproError):
+            histogram_linearity(uniform_ramp_codes(), n_bits=0)
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        codes = np.sort(rng.integers(0, 16, size=(4, 512)), axis=-1)
+        batch = histogram_linearity_batch(codes, n_bits=4)
+        for d in range(4):
+            one = histogram_linearity(codes[d], n_bits=4)
+            assert batch.dnl_max[d] == one.dnl_max
+            np.testing.assert_array_equal(batch.inl[d], one.inl)
+            assert bool(batch.monotonic[d]) == one.monotonic
+
+
+class TestSpectralMetrics:
+    def test_pure_sine_hits_cap(self):
+        """A noiseless coherent sine has no noise bins at all."""
+        report = spectral_metrics(coherent_sine(), cycles=9)
+        assert report.sndr_db == 150.0
+        assert report.sfdr_db == 150.0
+
+    def test_known_snr_two_tones(self):
+        """Carrier + one small spur: SNDR and SFDR are the ratio."""
+        signal = coherent_sine(cycles=9) + coherent_sine(
+            cycles=25, amplitude=1e-3)
+        report = spectral_metrics(signal, cycles=9)
+        assert report.sndr_db == pytest.approx(60.0, abs=1e-6)
+        assert report.sfdr_db == pytest.approx(60.0, abs=1e-6)
+        assert report.enob == pytest.approx((60.0 - 1.76) / 6.02,
+                                            abs=1e-6)
+
+    def test_full_scale_reference(self):
+        """ENOB_fs refers noise to full scale, not the carrier."""
+        signal = coherent_sine(cycles=9, amplitude=0.25) \
+            + coherent_sine(cycles=25, amplitude=1e-3)
+        report = spectral_metrics(signal, cycles=9, full_scale=2.0)
+        # carrier is 12 dB below full scale
+        assert report.enob_full_scale == pytest.approx(
+            report.enob + 12.0411998 / 6.02, abs=1e-4)
+
+    def test_quantized_sine_near_ideal_enob(self):
+        n_bits = 8
+        wave = 127.5 + 127.5 * 0.9 * np.sin(
+            2.0 * np.pi * 67 * np.arange(1024) / 1024.0)
+        report = spectral_metrics(np.round(wave), cycles=67)
+        assert report.enob == pytest.approx(n_bits, abs=0.5)
+
+    def test_typed_errors(self):
+        with pytest.raises(ReproError):
+            spectral_metrics(coherent_sine(), cycles=8)  # not coprime
+        with pytest.raises(ReproError):
+            spectral_metrics(coherent_sine(), cycles=129)  # Nyquist
+        with pytest.raises(ReproError):
+            spectral_metrics(coherent_sine()[:32], cycles=9)
+        with pytest.raises(ReproError):
+            spectral_metrics(coherent_sine(), cycles=9,
+                             full_scale=-1.0)
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        signals = coherent_sine()[None, :] + rng.normal(
+            0.0, 1e-3, (6, 256))
+        batch = spectral_metrics_batch(signals, cycles=9)
+        for d in range(6):
+            one = spectral_metrics(signals[d], cycles=9)
+            assert batch.sndr_db[d] == pytest.approx(one.sndr_db,
+                                                     abs=1e-12)
+            assert batch.sfdr_db[d] == pytest.approx(one.sfdr_db,
+                                                     abs=1e-12)
+            assert batch.enob[d] == pytest.approx(one.enob, abs=1e-12)

@@ -1,0 +1,68 @@
+"""Golden-reference pins for the Monte Carlo yield engines.
+
+These freeze fixed-seed outputs of :class:`OtaYieldAnalyzer.run` and
+:func:`monte_carlo_yield_batch` to 1e-12.  Any change to the RNG
+contract (spawn order, draw order, batch layout) or to the mismatch
+models moves them and must be an explicit, reviewed decision.
+"""
+
+import pytest
+
+from repro.analog import OtaDesign, OtaYieldAnalyzer
+from repro.technology import get_node
+from repro.variability import MonteCarloSampler, monte_carlo_yield_batch
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_node("65nm")
+
+
+class TestOtaYieldGolden:
+    @pytest.fixture(scope="class")
+    def report(self, node):
+        f = node.feature_size
+        design = OtaDesign(input_width=40 * f, input_length=4 * f,
+                           load_width=20 * f, load_length=4 * f,
+                           tail_current=2e-5)
+        analyzer = OtaYieldAnalyzer(node, design,
+                                    load_capacitance=1e-12, seed=7)
+        return analyzer.run({"gain_db": 30.0, "offset_sigma": 0.01},
+                            n_samples=200)
+
+    def test_overall_yield(self, report):
+        assert report.n_samples == 200
+        assert report.overall_yield == pytest.approx(0.995, abs=1e-12)
+
+    def test_offset_statistics(self, report):
+        assert report.mean_offset == pytest.approx(
+            0.0024489698027277285, abs=1e-12)
+        assert report.sigma_offset == pytest.approx(
+            0.00184303887058358, abs=1e-12)
+
+    def test_per_spec_yield(self, report):
+        assert report.per_spec_yield["gain_db"] == pytest.approx(
+            1.0, abs=1e-12)
+        assert report.per_spec_yield["offset_sigma"] == pytest.approx(
+            0.995, abs=1e-12)
+
+
+class TestBatchYieldGolden:
+    def test_vth_limit_yield(self, node):
+        result = monte_carlo_yield_batch(
+            MonteCarloSampler(node, seed=11),
+            metric=lambda batch: batch.vth_global,
+            limit=0.02, n_dies=400)
+        assert result.n_pass == 360
+        assert result.yield_fraction == pytest.approx(0.9, abs=1e-12)
+
+    def test_seed_stability(self, node):
+        """Same seed on a fresh sampler gives the identical count."""
+        counts = {
+            monte_carlo_yield_batch(
+                MonteCarloSampler(node, seed=11),
+                metric=lambda batch: batch.vth_global,
+                limit=0.02, n_dies=400).n_pass
+            for _ in range(2)
+        }
+        assert counts == {360}

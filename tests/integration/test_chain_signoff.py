@@ -1,0 +1,112 @@
+"""End-to-end mixed-signal sign-off: exactness, trend, big-MC slow run.
+
+Tier-1 keeps the 64-die smoke population; the >=1000-die statistical
+run carries ``@pytest.mark.slow`` and only runs in the scheduled CI
+job (``pytest -m slow``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analog import chain_signoff, chain_signoff_batch, \
+    chain_yield_vs_node
+from repro.technology import all_nodes, get_node
+from repro.variability import MonteCarloSampler
+
+
+class TestIdealExactness:
+    """The acceptance bar: ideal chains are *exactly* linear.
+
+    Everything is computed in dyadic fractions of full scale, so an
+    ideal chain must report 0.0 DNL/INL to the last bit at every
+    roadmap node -- not merely "small".
+    """
+
+    @pytest.mark.parametrize("node", all_nodes(),
+                             ids=lambda n: n.name)
+    def test_zero_linearity_every_node(self, node):
+        report = chain_signoff(node)
+        assert report.dac.dnl_max == 0.0
+        assert report.dac.inl_max == 0.0
+        assert report.adc.dnl_max == 0.0
+        assert report.adc.inl_max == 0.0
+        assert np.all(report.dac.dnl == 0.0)
+        assert np.all(report.adc.inl == 0.0)
+        assert report.monotonic is True
+        assert report.passed is True
+
+    def test_ideal_spectral_node_independent(self):
+        """The ideal path never touches node parameters."""
+        reports = [chain_signoff(node) for node in
+                   (get_node("350nm"), get_node("65nm"),
+                    get_node("32nm"))]
+        enobs = {r.spectral.enob for r in reports}
+        assert len(enobs) == 1
+
+
+class TestYieldTrend:
+    """The paper's analog-scaling story: sign-off yield collapses."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        nodes = [get_node(name) for name in
+                 ("350nm", "90nm", "65nm", "32nm")]
+        rows = chain_yield_vs_node(nodes=nodes, n_dies=64, seed=0)
+        return {row["node"]: row for row in rows}
+
+    def test_monotone_degradation(self, rows):
+        assert rows["350nm"]["yield_fraction"] \
+            >= rows["90nm"]["yield_fraction"] \
+            >= rows["65nm"]["yield_fraction"] \
+            >= rows["32nm"]["yield_fraction"]
+
+    def test_old_node_is_safe(self, rows):
+        assert rows["350nm"]["yield_fraction"] == 1.0
+
+    def test_32nm_collapses(self, rows):
+        assert rows["32nm"]["yield_fraction"] < 0.6
+
+    def test_enob_degrades_with_node(self, rows):
+        assert rows["350nm"]["enob_mean"] > rows["32nm"]["enob_mean"]
+
+    def test_worst_linearity_grows(self, rows):
+        assert rows["32nm"]["dnl_worst_lsb"] \
+            > rows["350nm"]["dnl_worst_lsb"]
+
+
+@pytest.mark.slow
+class TestLargePopulation:
+    """>=1000-die statistics: tighter yield confidence intervals."""
+
+    N_DIES = 1024
+
+    @pytest.fixture(scope="class")
+    def batch(self):
+        sampler = MonteCarloSampler(get_node("65nm"), seed=0)
+        return chain_signoff_batch(sampler, n_dies=self.N_DIES)
+
+    def test_yield_in_confidence_band(self, batch):
+        """64-die smoke said ~0.97; the big run must agree to ~3 sigma."""
+        y = float(np.mean(batch.passed))
+        sigma = np.sqrt(0.97 * 0.03 / self.N_DIES)
+        assert abs(y - 0.97) < 5.0 * sigma + 0.02
+
+    def test_enob_population_sane(self, batch):
+        enob = batch.spectral.enob
+        assert enob.shape == (self.N_DIES,)
+        assert np.all(np.isfinite(enob))
+        assert 6.5 < float(np.mean(enob)) < 7.9
+
+    def test_linearity_tail_exists(self, batch):
+        """With 1k dies the mismatch tail produces >0.5 LSB DNL dies."""
+        worst = np.maximum(batch.dac.dnl_max, batch.adc.dnl_max)
+        assert float(np.max(worst)) > 0.5
+
+    def test_scalar_spotcheck_die_zero(self, batch):
+        """Die #0 of the big batch equals the scalar oracle's die #0."""
+        node = get_node("65nm")
+        sampler = MonteCarloSampler(node, seed=0)
+        one = chain_signoff(node, die=sampler.sample_die())
+        assert batch.dac.dnl_max[0] == one.dac.dnl_max
+        assert batch.spectral.enob[0] == pytest.approx(
+            one.spectral.enob, abs=1e-9)

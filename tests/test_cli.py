@@ -64,6 +64,43 @@ class TestCli:
             main([])
 
 
+class TestChainYieldCommand:
+    def test_smoke_table(self, capsys):
+        assert main(["chain-yield", "--dies", "8",
+                     "--nodes", "350nm,65nm"]) == 0
+        out = capsys.readouterr().out
+        assert "yield_fraction" in out
+        assert "350nm" in out
+        assert "65nm" in out
+
+    def test_scalar_path_agrees(self, capsys):
+        assert main(["chain-yield", "--dies", "4",
+                     "--nodes", "65nm"]) == 0
+        fast = capsys.readouterr().out
+        assert main(["chain-yield", "--dies", "4",
+                     "--nodes", "65nm", "--scalar"]) == 0
+        slow = capsys.readouterr().out
+        assert fast == slow
+
+    def test_spec_knobs_parsed(self, capsys):
+        assert main(["chain-yield", "--dies", "4", "--nodes", "350nm",
+                     "--enob-min", "12"]) == 0
+        out = capsys.readouterr().out
+        # 12 ENOB from an 8-bit chain: everything fails
+        assert " 0 " in out or " 0\n" in out or " 0 |" in out \
+            or "0 |" in out
+
+    def test_unknown_node_fails_cleanly(self, capsys):
+        assert main(["chain-yield", "--nodes", "7nm"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_bad_dies_value_is_typed(self, capsys):
+        assert main(["chain-yield", "--dies", "0",
+                     "--nodes", "65nm"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
 class TestCliHardening:
     def test_unknown_subcommand_exits_cleanly(self):
         result = run_cli("frobnicate")

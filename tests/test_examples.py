@@ -18,6 +18,7 @@ FAST_SCRIPTS = [
     "quickstart.py",
     "end_of_road_study.py",
     "adc_design_space.py",
+    "chain_signoff.py",
 ]
 
 HEAVY_SCRIPTS = [

@@ -170,6 +170,66 @@ class TestAnalogInvariants:
         assert a2 / a1 == pytest.approx(2.0)
 
 
+class TestChainInvariants:
+    """Mixed-signal chain invariants from the sign-off suite."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(node_strategy(), st.integers(min_value=2, max_value=10))
+    def test_ideal_dac_monotonic_all_codes(self, node, n_bits):
+        """An ideal ladder is strictly monotone at every resolution."""
+        from repro.analog import ChainDesign, SignalChain
+        chain = SignalChain.ideal(node,
+                                  design=ChainDesign(n_bits=n_bits))
+        levels = chain.dac.levels()
+        assert levels.shape == (2 ** n_bits,)
+        assert np.all(np.diff(levels) > 0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_dnl_sums_to_inl_endpoint(self, seed):
+        """INL is the running sum of DNL -- both metric flavours."""
+        from repro.analog import histogram_linearity, transfer_linearity
+        rng = np.random.default_rng(seed)
+        codes = np.sort(rng.integers(0, 16, size=1024))
+        assume(codes.min() == 0 and codes.max() == 15)
+        hist = histogram_linearity(codes, n_bits=4)
+        np.testing.assert_allclose(hist.inl, np.cumsum(hist.dnl),
+                                   atol=1e-12)
+        levels = np.sort(rng.uniform(0.0, 1.0, size=32))
+        assume(np.all(np.diff(levels) > 1e-9))
+        xfer = transfer_linearity(levels)
+        # endpoint fit: cumulative DNL returns to the INL endpoints
+        assert np.sum(1.0 + xfer.dnl) == pytest.approx(31.0,
+                                                       abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.2, max_value=0.95),
+           st.floats(min_value=0.2, max_value=0.95))
+    def test_enob_amplitude_invariant_full_scale(self, a1, a2):
+        """ENOB referred to full scale is amplitude-independent for a
+        fixed additive noise floor."""
+        from repro.analog import spectral_metrics
+        t = np.arange(512)
+        noise = 1e-3 * np.sin(2.0 * np.pi * 101 * t / 512.0)
+        r1 = spectral_metrics(a1 * np.sin(2 * np.pi * 9 * t / 512)
+                              + noise, cycles=9, full_scale=2.0)
+        r2 = spectral_metrics(a2 * np.sin(2 * np.pi * 9 * t / 512)
+                              + noise, cycles=9, full_scale=2.0)
+        assert r1.enob_full_scale == pytest.approx(
+            r2.enob_full_scale, abs=1e-6)
+
+    def test_metrics_finite_under_registry_perturbations(self):
+        """Every analog.metrics/chain fault-registry perturbation
+        either returns finite values or raises a typed error."""
+        from repro.robust.faults import default_registry, run_fault_sweep
+        registry = [spec for spec in default_registry()
+                    if spec.name.startswith(("analog.metrics.",
+                                             "analog.chain."))]
+        assert len(registry) >= 8
+        report = run_fault_sweep(registry=registry)
+        assert report.passed, report.summary()
+
+
 class TestAdderEquivalence:
     @settings(max_examples=30, deadline=None)
     @given(st.integers(min_value=0, max_value=255),
