@@ -119,6 +119,34 @@ def cmd_chain_yield(args) -> int:
     return 0
 
 
+def cmd_soc_noise(args) -> int:
+    from .digital import random_stimulus, soc_netlist
+    from .digital.simulator_compiled import CompiledEventEngine
+    from .substrate import SwanSimulator
+    from .technology import get_node
+    node = get_node(args.node)
+    netlist = soc_netlist(node, target_gates=args.gates,
+                          n_blocks=args.blocks, seed=args.seed)
+    engine = CompiledEventEngine(
+        netlist, clock_period=1.0 / args.frequency,
+        event_budget=args.event_budget)
+    stimulus = random_stimulus(
+        netlist, args.cycles, seed=args.seed,
+        held_high=["en"] + [f"blk{b}_en" for b in range(args.blocks)])
+    trace = engine.run(stimulus, args.cycles)
+    swan = SwanSimulator(netlist, clock_frequency=args.frequency,
+                         seed=args.seed)
+    wave = swan.stream_noise(trace, chunk_events=args.chunk_events)
+    _print_table([{
+        "gates": len(netlist.instances),
+        "events": trace.n_events,
+        "activity": trace.activity_factor(args.cycles),
+        "rms_uV": wave.rms * 1e6,
+        "p2p_uV": wave.peak_to_peak * 1e6,
+    }])
+    return 0
+
+
 def cmd_figures(_args) -> int:
     index = [
         ("fig01", "subthreshold I(V_GS, V_DS) with DIBL (eq. 1)"),
@@ -201,6 +229,25 @@ def build_parser() -> argparse.ArgumentParser:
                               help="use the per-die scalar oracle "
                                    "instead of the batched path")
     chain_parser.set_defaults(func=cmd_chain_yield)
+
+    soc_parser = sub.add_parser(
+        "soc-noise",
+        help="SoC-scale activity -> substrate noise via the compiled "
+             "event engine")
+    soc_parser.add_argument("--node", default="65nm")
+    soc_parser.add_argument("--gates", type=int, default=20_000,
+                            help="target gate count")
+    soc_parser.add_argument("--blocks", type=int, default=8,
+                            help="clock-gated blocks")
+    soc_parser.add_argument("--cycles", type=int, default=10)
+    soc_parser.add_argument("--frequency", type=float, default=50e6)
+    soc_parser.add_argument("--seed", type=int, default=0)
+    soc_parser.add_argument("--event-budget", type=int,
+                            default=10_000_000)
+    soc_parser.add_argument("--chunk-events", type=int,
+                            default=100_000,
+                            help="events per streamed SWAN chunk")
+    soc_parser.set_defaults(func=cmd_soc_noise)
 
     sub.add_parser("figures", help="index of figure benchmarks"
                    ).set_defaults(func=cmd_figures)

@@ -21,6 +21,7 @@ from .generators import (
     lfsr,
     random_logic,
     ripple_adder,
+    soc_netlist,
 )
 from .ssta import (
     SstaResult,
@@ -42,6 +43,7 @@ from .timing import (
     delay_under_mismatch,
 )
 from .timing_compiled import BatchTimingResult, CompiledTimingGraph
+from .simulator_compiled import CompiledEventEngine, EventTrace
 from .energy import (
     PowerReport,
     analytic_power_estimate,
@@ -90,6 +92,7 @@ __all__ = [
     "equality_comparator", "estimate_gates_for_target", "fir_filter",
     "full_adder",
     "kogge_stone_adder", "lfsr", "random_logic", "ripple_adder",
+    "soc_netlist",
     "SstaResult", "StatisticalTimingAnalyzer",
     "corner_vs_statistical_margin", "depth_averaging_study",
     "spatially_correlated_ssta",
@@ -98,6 +101,7 @@ __all__ = [
     "StaticTimingAnalyzer", "TimingReport", "critical_delay",
     "delay_under_mismatch",
     "BatchTimingResult", "CompiledTimingGraph",
+    "CompiledEventEngine", "EventTrace",
     "PowerReport", "analytic_power_estimate", "leakage_fraction_trend",
     "power_report", "switching_energy_of_run",
     "SizingResult", "WorstCasePenalty", "energy_vs_delay_curve",

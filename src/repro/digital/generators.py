@@ -172,6 +172,104 @@ def clocked_datapath(node: TechnologyNode, adder_width: int = 8,
     return netlist
 
 
+@validated(target_gates="count", n_blocks="count", adder_width="count")
+def soc_netlist(node: TechnologyNode, target_gates: int = 20_000,
+                n_blocks: int = 8, adder_width: int = 8,
+                glue_fraction: float = 0.08,
+                seed: Optional[int] = None, name: str = "soc",
+                rng: Optional[np.random.Generator] = None) -> Netlist:
+    """A parameterized SoC-like netlist of ~``target_gates`` gates.
+
+    The Fig. 10 workload shape at tunable size: ``n_blocks``
+    clock-gated blocks, each holding a pseudo-random source register
+    bank, registered ripple-adder slices, and a sprinkle of random
+    glue logic.  Clock gating is structural -- every register's data
+    pin goes through ``MUX2(blk_en, q, next)`` recirculation, so
+    deasserting a block's enable stimulus really silences its
+    switching activity (the mechanism behind the paper's observation
+    that substrate noise tracks *aggregate* activity, not clock rate).
+
+    Primary inputs: global ``en`` plus one ``blk{b}_en`` per block.
+    Gate count lands within a few percent of ``target_gates``; blocks
+    differ in wiring permutation (seeded), so activity is not
+    perfectly correlated across blocks.  Source banks are replicated
+    every 16 adder slices so no net's fanout grows with
+    ``target_gates`` (unbounded fanout would push loaded gate delays
+    past a clock period, silently squashing the very activity the
+    workload exists to produce).
+    """
+    if not 0.0 <= glue_fraction < 1.0:
+        raise ModelDomainError(
+            f"glue_fraction must be in [0, 1), got {glue_fraction}")
+    rng = resolve_rng(rng, seed=seed)
+    netlist = Netlist(node, name)
+    netlist.add_input("en")
+    zero = netlist.add_input("zero")
+    comb_cells = ["INV", "NAND2", "NOR2", "AND2", "OR2", "XOR2",
+                  "NAND3", "AOI21"]
+    gates_per_block = max(target_gates // n_blocks, 8 * adder_width)
+    n_src = 2 * adder_width
+    slices_per_bank = 16
+    # Source bank = n_src * (DFF + MUX2) + XNOR; each adder slice =
+    # adder_width * (5 FA gates + DFF + MUX2).
+    source_cost = 2 * n_src + 1
+    slice_cost = 7 * adder_width
+    logic_budget = int(gates_per_block * (1.0 - glue_fraction))
+    n_slices = max((logic_budget - source_cost) // slice_cost, 1)
+
+    def gated_dff(enable_net: str, data: str, q: str) -> None:
+        """Register with MUX2 recirculation clock gating."""
+        d = netlist.add_gate("MUX2", [enable_net, q, data],
+                             f"{q}_d").output
+        netlist.add_gate("DFF", ["en", d], q)
+
+    def source_bank(prefix: str, enable_net: str) -> List[str]:
+        """XNOR-feedback shift register (pseudo-random sources)."""
+        src = [f"{prefix}_src{i}" for i in range(n_src)]
+        feedback = netlist.add_gate(
+            "XNOR2", [src[-1], src[n_src // 2]],
+            f"{prefix}_fb").output
+        gated_dff(enable_net, feedback, src[0])
+        for i in range(1, n_src):
+            gated_dff(enable_net, src[i - 1], src[i])
+        return src
+
+    for b in range(n_blocks):
+        blk_en = netlist.add_input(f"blk{b}_en")
+        src = source_bank(f"b{b}k0", blk_en)
+        used = source_cost
+        registered: List[str] = []
+        for s in range(n_slices):
+            if s and s % slices_per_bank == 0:
+                src = source_bank(f"b{b}k{s // slices_per_bank}",
+                                  blk_en)
+                used += source_cost
+            carry = zero
+            perm = rng.permutation(n_src)
+            for i in range(adder_width):
+                a = src[int(perm[i])]
+                c = src[int(perm[(i + adder_width) % n_src])]
+                total, carry = full_adder(netlist, a, c, carry,
+                                          f"b{b}_s{s}_fa{i}")
+                gated_dff(blk_en, total, f"b{b}_s{s}_r{i}")
+                registered.append(f"b{b}_s{s}_r{i}")
+            used += slice_cost
+        # Random glue logic on the block's registered nets; each
+        # glue output is fair game for later glue inputs, so fanout
+        # stays small even for large glue budgets.
+        block_nets = registered or src
+        n_glue = max(gates_per_block - used, 0)
+        for g in range(n_glue):
+            cell_name = comb_cells[int(rng.integers(len(comb_cells)))]
+            n_pins = CELL_TYPES[cell_name].n_inputs
+            pins = [block_nets[int(rng.integers(len(block_nets)))]
+                    for _ in range(n_pins)]
+            inst = netlist.add_gate(cell_name, pins,
+                                    f"b{b}_glue{g}")
+            block_nets.append(inst.output)
+    return netlist
+
+
 @validated(target_gates="count", adder_width="count")
 def estimate_gates_for_target(target_gates: int, adder_width: int = 8
                               ) -> int:

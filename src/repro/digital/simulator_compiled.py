@@ -1,0 +1,718 @@
+"""Compiled streaming event engine for SoC-scale activity extraction.
+
+:class:`~repro.digital.simulator.EventDrivenSimulator` walks one
+Python object per event through a ``heapq``; fine for toy netlists,
+hopeless for the paper's Fig. 10 workload (the switching activity of
+a ~220 kgate WLAN SoC feeding the SWAN substrate-noise flow).  This
+module lowers a :class:`~repro.digital.netlist.Netlist` **once** to
+flat numpy arrays -- gate-type codes with an 8-entry truth table per
+cell, padded fanin pin tables, per-gate loaded delays and a
+combinational net->loads CSR index -- and then runs cycles with a
+vectorized event wheel: pending events live in struct-of-arrays
+buffers ``(time, net, value, source)``, each *wavefront* (all events
+sharing the earliest timestamp) is applied and its fanout gates are
+re-evaluated in one batched truth-table lookup, and the budget /
+oscillation guards operate on per-net toggle counters.
+
+Equivalence contract with the scalar oracle
+-------------------------------------------
+The scalar simulator stays as the reference; for identical stimulus
+the compiled engine reproduces its event stream **bit for bit** --
+same event times (the per-gate delays are computed through the exact
+same :meth:`Cell.delay` calls), same ordering on ties, same recorded
+values and instance attribution, and the same final net values:
+
+* the scalar heap pops in ``(time, push counter)`` order; the
+  compiled pending buffer is append-ordered, so selecting the
+  earliest-time events in buffer order reproduces the counter
+  tie-breaking exactly;
+* within one wavefront the scalar applies events one at a time, so a
+  gate whose inputs switch together is re-evaluated after *each*
+  input event.  The compiled engine splits a wavefront into
+  conflict-free groups (no duplicated nets, no shared fanout gate, no
+  event net colliding with a fanout gate's output) and batches each
+  group -- within such a group the one-at-a-time and all-at-once
+  schedules are provably identical;
+* late events (at or past the cycle horizon) are applied silently in
+  ``(time, order)`` sequence, as the scalar loop does;
+* the event budget and the per-net-per-cycle oscillation guard raise
+  the same typed :class:`SimulationBudgetError` at the same event.
+
+Output is an :class:`EventTrace` -- the struct-of-arrays twin of
+:class:`~repro.digital.simulator.SimulationResult` -- which the SWAN
+flow (:mod:`repro.substrate.swan`) consumes directly in chunked numpy
+calls, without ever materializing per-event Python objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..robust.errors import ModelDomainError, SimulationBudgetError
+from ..robust.validate import check_count, check_positive
+from .gates import CELL_TYPES
+from .netlist import Netlist
+from .simulator import SimulationResult, SwitchingEvent
+
+__all__ = ["CompiledEventEngine", "EventTrace"]
+
+#: Source index marking a primary-input (driverless) event.
+_SRC_INPUT = -1
+
+
+@dataclass
+class EventTrace:
+    """A switching-event stream in struct-of-arrays form.
+
+    The columnar twin of :class:`SimulationResult`: four parallel
+    arrays (event ``k`` is ``times[k]``, ``net_indices[k]``,
+    ``values[k]``, ``source_indices[k]``) plus the name tables that
+    decode the integer columns.  ``source_indices`` holds the driving
+    gate's position in netlist insertion order, or ``-1`` for a
+    primary-input event.
+
+    Accessors mirror the scalar result; :meth:`to_events` /
+    :meth:`to_result` materialize the object form for legacy
+    consumers, and :meth:`chunks` yields bounded slices for streaming
+    the trace through the substrate solver.
+    """
+
+    times: np.ndarray            # (n_events,) [s]
+    net_indices: np.ndarray      # (n_events,) index into net_names
+    values: np.ndarray           # (n_events,) bool, post-event level
+    source_indices: np.ndarray   # (n_events,) gate index or -1
+    net_names: Tuple[str, ...]
+    instance_names: Tuple[str, ...]
+    final_values: Dict[str, bool]
+    duration: float
+    _by_instance: Optional[Dict[str, np.ndarray]] = field(
+        default=None, repr=False, compare=False)
+
+    @property
+    def n_events(self) -> int:
+        """Number of recorded switching events."""
+        return int(self.times.shape[0])
+
+    def toggle_count(self, net: Optional[str] = None) -> int:
+        """Number of transitions (on one net, or total)."""
+        if net is None:
+            return self.n_events
+        try:
+            index = self.net_names.index(net)
+        except ValueError:
+            return 0
+        return int(np.count_nonzero(self.net_indices == index))
+
+    def activity_factor(self, n_cycles: int) -> float:
+        """Average toggles per switching net per cycle."""
+        n_cycles = check_count("n_cycles", n_cycles)
+        if self.n_events == 0:
+            return 0.0
+        n_nets = np.unique(self.net_indices).size
+        return self.n_events / (n_nets * n_cycles)
+
+    def events_by_instance(self) -> Dict[str, np.ndarray]:
+        """Event indices per driving gate instance (memoized)."""
+        if self._by_instance is None:
+            grouped: Dict[str, np.ndarray] = {}
+            placed = np.flatnonzero(self.source_indices >= 0)
+            if placed.size:
+                order = np.argsort(self.source_indices[placed],
+                                   kind="stable")
+                ordered = placed[order]
+                sources = self.source_indices[ordered]
+                cuts = np.flatnonzero(sources[1:] != sources[:-1]) + 1
+                for block in np.split(ordered, cuts):
+                    name = self.instance_names[
+                        int(self.source_indices[block[0]])]
+                    grouped[name] = block
+            self._by_instance = grouped
+        return self._by_instance
+
+    def to_events(self) -> List[SwitchingEvent]:
+        """Materialize the stream as scalar :class:`SwitchingEvent`\\ s.
+
+        Bit-for-bit identical (times, order, values, attribution) to
+        the scalar oracle's event list under the same stimulus.
+        """
+        names = self.net_names
+        instances = self.instance_names
+        return [SwitchingEvent(
+            time=float(t), net=names[int(n)], value=bool(v),
+            instance=instances[int(s)] if s >= 0 else None)
+            for t, n, v, s in zip(self.times, self.net_indices,
+                                  self.values, self.source_indices)]
+
+    def to_result(self) -> SimulationResult:
+        """Convert to a scalar :class:`SimulationResult`."""
+        return SimulationResult(events=self.to_events(),
+                                final_values=dict(self.final_values),
+                                duration=self.duration)
+
+    def chunks(self, chunk_events: int) -> Iterator["EventTrace"]:
+        """Yield consecutive slices of at most ``chunk_events`` events.
+
+        Slices share the name tables, final values and duration of the
+        full trace (they are metadata of the run, not of a chunk) and
+        view the underlying arrays without copying.
+        """
+        chunk_events = check_count("chunk_events", chunk_events)
+        for start in range(0, max(self.n_events, 1), chunk_events):
+            stop = start + chunk_events
+            yield EventTrace(
+                times=self.times[start:stop],
+                net_indices=self.net_indices[start:stop],
+                values=self.values[start:stop],
+                source_indices=self.source_indices[start:stop],
+                net_names=self.net_names,
+                instance_names=self.instance_names,
+                final_values=self.final_values,
+                duration=self.duration)
+
+
+def _first_conflict(nets: np.ndarray, load_gates: np.ndarray,
+                    load_event: np.ndarray,
+                    load_outputs: np.ndarray) -> int:
+    """Length of the longest conflict-free prefix of a wavefront slice.
+
+    Events ``i < j`` conflict when they touch the same net, share a
+    fanout gate, or one's net is the output of the other's fanout
+    gate -- exactly the cases where the scalar one-at-a-time schedule
+    and the batched schedule could diverge.  Returns the position the
+    next group must start at (>= 1, so progress is guaranteed).
+    """
+    m = nets.size
+    boundary = m
+    order = np.argsort(nets, kind="stable")
+    sorted_nets = nets[order]
+    dup = sorted_nets[1:] == sorted_nets[:-1]
+    if dup.any():
+        boundary = min(boundary, int(order[1:][dup].min()))
+    if load_gates.size:
+        gate_order = np.argsort(load_gates, kind="stable")
+        sorted_gates = load_gates[gate_order]
+        dup_gate = sorted_gates[1:] == sorted_gates[:-1]
+        if dup_gate.any():
+            boundary = min(boundary, int(
+                load_event[gate_order[1:][dup_gate]].min()))
+        # An event net colliding with another event's fanout output:
+        # the conflict activates when the later of the pair joins.
+        slot = np.searchsorted(sorted_nets, load_outputs)
+        slot = np.minimum(slot, m - 1)
+        hit = sorted_nets[slot] == load_outputs
+        if hit.any():
+            net_pos = order[slot[hit]]
+            boundary = min(boundary, int(
+                np.maximum(net_pos, load_event[hit]).min()))
+    return max(boundary, 1)
+
+
+class _EventBuffer:
+    """Append-only struct-of-arrays overflow for newly scheduled events.
+
+    Append order *is* the scalar heap's push-counter order.  The run
+    loop keeps a time-sorted queue with a head pointer and merges this
+    overflow into it only when its earliest entry (``tmin``, tracked
+    incrementally) could precede the queue head -- so neither popping
+    a wavefront nor appending ever scans the whole pending set.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.time = np.empty(capacity)
+        self.net = np.empty(capacity, dtype=np.int64)
+        self.value = np.empty(capacity, dtype=bool)
+        self.source = np.empty(capacity, dtype=np.int64)
+        self.n = 0
+        self.tmin = np.inf
+
+    def reset(self) -> None:
+        self.n = 0
+        self.tmin = np.inf
+
+    def append(self, times: np.ndarray, nets: np.ndarray,
+               values: np.ndarray, sources: np.ndarray) -> None:
+        count = times.size
+        if count == 0:
+            return
+        needed = self.n + count
+        if needed > self.time.size:
+            capacity = max(needed, 2 * self.time.size)
+            for name in ("time", "net", "value", "source"):
+                old = getattr(self, name)
+                grown = np.empty(capacity, dtype=old.dtype)
+                grown[:self.n] = old[:self.n]
+                setattr(self, name, grown)
+        self.time[self.n:needed] = times
+        self.net[self.n:needed] = nets
+        self.value[self.n:needed] = values
+        self.source[self.n:needed] = sources
+        self.n = needed
+        self.tmin = min(self.tmin, times.min())
+
+
+class CompiledEventEngine:
+    """A :class:`Netlist` lowered to flat arrays for batched simulation.
+
+    Drop-in compiled counterpart of :class:`EventDrivenSimulator`:
+    same constructor parameters, same :meth:`run` contract, same
+    guards -- but :meth:`run` returns an :class:`EventTrace` and the
+    hot loop is pure array work per wavefront instead of per event.
+
+    Compilation is one pass over the netlist (gate delays are computed
+    through the very same :meth:`Cell.delay` calls the scalar
+    simulator makes, memoized by ``(cell, drive, load)``, so event
+    times agree bit for bit).  Mutating the netlist afterwards does
+    not update the compiled arrays -- recompile.
+    """
+
+    DEFAULT_EVENT_BUDGET = 1_000_000
+    DEFAULT_OSCILLATION_LIMIT = 512
+
+    def __init__(self, netlist: Netlist, clock_period: float = 1e-9,
+                 wire_cap_per_fanout: float = 0.5e-15,
+                 event_budget: Optional[int] = DEFAULT_EVENT_BUDGET,
+                 oscillation_limit: Optional[int] =
+                 DEFAULT_OSCILLATION_LIMIT):
+        check_positive("clock_period", clock_period)
+        check_positive("wire_cap_per_fanout", wire_cap_per_fanout)
+        if event_budget is not None:
+            event_budget = check_count("event_budget", event_budget)
+        if oscillation_limit is not None:
+            oscillation_limit = check_count("oscillation_limit",
+                                            oscillation_limit)
+        self.netlist = netlist
+        self.clock_period = clock_period
+        self.wire_cap_per_fanout = wire_cap_per_fanout
+        self.event_budget = event_budget
+        self.oscillation_limit = oscillation_limit
+        self._compile()
+
+    # --- lowering --------------------------------------------------------
+
+    def _compile(self) -> None:
+        netlist = self.netlist
+        net_names = list(netlist.nets)
+        self._net_names: Tuple[str, ...] = tuple(net_names)
+        net_of = {name: k for k, name in enumerate(net_names)}
+        self._net_of = net_of
+        n_nets = len(net_names)
+        instances = list(netlist.instances.values())
+        self._instance_names: Tuple[str, ...] = tuple(
+            inst.name for inst in instances)
+        gate_of = {name: g for g, name in
+                   enumerate(netlist.instances)}
+        n_gates = len(instances)
+        self.n_gates = n_gates
+
+        # 8-entry truth table per cell type: 3 inputs max in the
+        # library, padded pins read the always-False dummy net.
+        type_names = list(CELL_TYPES)
+        type_code = {name: k for k, name in enumerate(type_names)}
+        truth = np.zeros((len(type_names), 8), dtype=bool)
+        for code, name in enumerate(type_names):
+            cell_type = CELL_TYPES[name]
+            if cell_type.is_sequential:
+                continue
+            for packed in range(8):
+                bits = tuple(bool((packed >> b) & 1)
+                             for b in range(cell_type.n_inputs))
+                truth[code, packed] = cell_type.function(bits)
+        self._truth_flat = truth.ravel()
+
+        dummy = n_nets            # always-False padding slot
+        self._dummy = dummy
+        fanin = np.full((n_gates, 3), dummy, dtype=np.int64)
+        out_net = np.zeros(n_gates, dtype=np.int64)
+        tcode8 = np.zeros(n_gates, dtype=np.int64)
+        is_seq = np.zeros(n_gates, dtype=bool)
+        delays = np.zeros(n_gates, dtype=float)
+
+        # Delay / pin-cap memoization: identical (cell, drive, load)
+        # triples produce identical floats through the shared
+        # Cell.delay path, so repetitive SoCs compile in O(unique).
+        cap_cache: Dict[Tuple[str, float], float] = {}
+        delay_cache: Dict[Tuple[str, float, float], float] = {}
+
+        def pin_cap(inst) -> float:
+            key = (inst.cell.cell_type.name, inst.cell.drive)
+            cap = cap_cache.get(key)
+            if cap is None:
+                cap = inst.cell.input_capacitance
+                cap_cache[key] = cap
+            return cap
+
+        wire_cap = self.wire_cap_per_fanout
+        for g, inst in enumerate(instances):
+            out_net[g] = net_of[inst.output]
+            tcode8[g] = type_code[inst.cell.cell_type.name] * 8
+            is_seq[g] = inst.is_sequential
+            for pin, net in enumerate(inst.inputs):
+                fanin[g, pin] = net_of[net]
+            # Same accumulation order and start value as
+            # Netlist.fanout_capacitance, so the sum is bit-identical.
+            loads = netlist.loads_of(inst.output)
+            load_cap = sum(pin_cap(load) * load.inputs.count(inst.output)
+                           for load in loads) \
+                + wire_cap * max(len(loads), 1)
+            key = (inst.cell.cell_type.name, inst.cell.drive, load_cap)
+            delay = delay_cache.get(key)
+            if delay is None:
+                delay = inst.cell.delay(load_cap)
+                delay_cache[key] = delay
+            delays[g] = delay
+
+        self._fanin = fanin
+        self._out_net = out_net
+        self._tcode8 = tcode8
+        self._delays = delays
+
+        # Combinational net -> loads CSR (sequential cells sample only
+        # at the clock edge, exactly as the scalar loop skips them).
+        counts = np.zeros(n_nets, dtype=np.int64)
+        flat: List[int] = []
+        for k, net in enumerate(net_names):
+            comb = [gate_of[load.name] for load in netlist.loads_of(net)
+                    if not load.is_sequential]
+            counts[k] = len(comb)
+            flat.extend(comb)
+        self._csr_count = counts
+        self._csr_start = np.concatenate(
+            [[0], np.cumsum(counts)[:-1]]).astype(np.int64) \
+            if n_nets else np.zeros(0, dtype=np.int64)
+        self._csr_gates = np.array(flat, dtype=np.int64)
+
+        # Sequential cells in netlist insertion order (the scalar
+        # simulator's sampling order).
+        seq_idx = np.flatnonzero(is_seq)
+        self._seq_gates = seq_idx
+        self._seq_data = np.array(
+            [net_of[instances[g].inputs[-1]] for g in seq_idx],
+            dtype=np.int64)
+        self._seq_out = out_net[seq_idx]
+        self._seq_delay = delays[seq_idx]
+
+        # Levelized combinational schedule for the initial settle
+        # (validates acyclicity exactly like the scalar settle does).
+        order = netlist.topological_order()
+        level_of: Dict[str, int] = {}
+        max_level = -1
+        for inst in order:
+            if inst.is_sequential:
+                continue
+            level = 0
+            for net in inst.inputs:
+                driver = netlist.driver_of(net)
+                if driver is not None and not driver.is_sequential:
+                    level = max(level, level_of[driver.name] + 1)
+            level_of[inst.name] = level
+            max_level = max(max_level, level)
+        self._levels: List[np.ndarray] = [
+            np.array([gate_of[name] for name, lv in level_of.items()
+                      if lv == level], dtype=np.int64)
+            for level in range(max_level + 1)]
+
+        # Nets that are neither driven nor primary inputs read as
+        # False during the settle even if an initial state set them.
+        self._primary_inputs = list(netlist.primary_inputs)
+        pi_set = set(self._primary_inputs)
+        self._floating = np.array(
+            [net_of[name] for name in net_names
+             if name not in pi_set and netlist.driver_of(name) is None],
+            dtype=np.int64)
+
+    # --- evaluation helpers ----------------------------------------------
+
+    def _evaluate(self, gates: np.ndarray,
+                  values: np.ndarray) -> np.ndarray:
+        """Batched truth-table lookup of ``gates`` against ``values``."""
+        bits = values[self._fanin[gates]]
+        packed = bits[:, 0] + 2 * bits[:, 1] + 4 * bits[:, 2]
+        return self._truth_flat[self._tcode8[gates] + packed]
+
+    def _settle(self, values: np.ndarray) -> None:
+        """Levelized combinational settle from the initial state."""
+        floating = self._floating
+        saved = values[floating].copy() if floating.size else None
+        if floating.size:
+            values[floating] = False
+        for gates in self._levels:
+            values[self._out_net[gates]] = self._evaluate(gates, values)
+        if floating.size:
+            values[floating] = saved
+
+    # --- simulation ------------------------------------------------------
+
+    def run(self, stimulus: Dict[str, Sequence[bool]], n_cycles: int,
+            initial_state: Optional[Dict[str, bool]] = None
+            ) -> EventTrace:
+        """Simulate ``n_cycles`` clock cycles; see the scalar oracle.
+
+        Same contract as :meth:`EventDrivenSimulator.run` -- stimulus
+        patterns repeat cyclically, flip-flops sample at the rising
+        edge, inputs change just after it -- but the returned
+        :class:`EventTrace` keeps the stream columnar.
+        """
+        n_cycles = check_count("n_cycles", n_cycles)
+        missing = [net for net in self._primary_inputs
+                   if net not in stimulus]
+        if missing:
+            raise ModelDomainError(
+                f"missing stimulus for inputs {missing}")
+        for net, pattern in stimulus.items():
+            if len(pattern) == 0:
+                raise ModelDomainError(
+                    f"empty stimulus pattern for net {net!r}")
+
+        # Value-array layout: netlist nets, the always-False dummy
+        # padding slot, then any run-only nets named by the stimulus
+        # or initial state but absent from the netlist.
+        n_base = len(self._net_names)
+        extra_names: List[str] = []
+        seen = set(self._net_of)
+        for name in list(stimulus) + list(initial_state or {}):
+            if name not in seen:
+                extra_names.append(name)
+                seen.add(name)
+        extra_of = {name: n_base + 1 + k
+                    for k, name in enumerate(extra_names)}
+        value_names = (list(self._net_names) + ["<pad>"] + extra_names)
+        n_values = n_base + 1 + len(extra_names)
+
+        def slot(name: str) -> int:
+            index = self._net_of.get(name)
+            return extra_of[name] if index is None else index
+
+        values = np.zeros(n_values, dtype=bool)
+        if initial_state:
+            for net, val in initial_state.items():
+                values[slot(net)] = bool(val)
+        self._settle(values)
+
+        # Extend the loads CSR with empty rows for pad + extra nets.
+        csr_count = np.zeros(n_values, dtype=np.int64)
+        csr_count[:n_base] = self._csr_count
+        csr_start = np.zeros(n_values, dtype=np.int64)
+        csr_start[:n_base] = self._csr_start
+        csr_gates = self._csr_gates
+        out_net = self._out_net
+        delays = self._delays
+        initial_keys = {slot(net) for net in initial_state} \
+            if initial_state else set()
+        track_extras = bool(extra_names)
+        written = np.zeros(n_values, dtype=bool) if track_extras \
+            else None
+
+        stim_nets = np.array([slot(net) for net in stimulus],
+                             dtype=np.int64)
+        patterns = np.empty((len(stimulus), n_cycles), dtype=bool)
+        for k, (net, pattern) in enumerate(stimulus.items()):
+            length = len(pattern)
+            patterns[k] = [bool(pattern[c % length])
+                           for c in range(n_cycles)]
+
+        toggles = np.zeros(n_values, dtype=np.int64)
+        buffer = _EventBuffer()
+        budget_limit = self.event_budget
+        osc_limit = self.oscillation_limit
+        spent = 0
+        time_parts: List[np.ndarray] = []
+        net_parts: List[np.ndarray] = []
+        value_parts: List[np.ndarray] = []
+        source_parts: List[np.ndarray] = []
+
+        empty_f = np.zeros(0)
+        empty_i = np.zeros(0, dtype=np.int64)
+        empty_b = np.zeros(0, dtype=bool)
+
+        for cycle in range(n_cycles):
+            edge_time = cycle * self.clock_period
+            horizon = edge_time + self.clock_period
+            buffer.reset()
+            toggles[:] = 0
+            # Time-sorted pending queue consumed from ``head``; newly
+            # scheduled events accumulate in ``buffer`` and merge in
+            # lazily (a stable time sort of [queue remainder, overflow]
+            # preserves push-counter order on ties, because every
+            # queued event was pushed before every overflow event).
+            q_time, q_net = empty_f, empty_i
+            q_val, q_src = empty_b, empty_i
+            head = 0
+
+            # Flip-flops sample their data nets at the edge.
+            if self._seq_gates.size:
+                sampled = values[self._seq_data]
+                changed = sampled != values[self._seq_out]
+                if changed.any():
+                    buffer.append(
+                        edge_time + self._seq_delay[changed],
+                        self._seq_out[changed], sampled[changed],
+                        self._seq_gates[changed])
+            # Primary inputs change shortly after the edge.
+            if stim_nets.size:
+                new_vals = patterns[:, cycle]
+                changed = new_vals != values[stim_nets]
+                if changed.any():
+                    count = int(np.count_nonzero(changed))
+                    buffer.append(
+                        np.full(count,
+                                edge_time + 0.01 * self.clock_period),
+                        stim_nets[changed], new_vals[changed],
+                        np.full(count, _SRC_INPUT, dtype=np.int64))
+
+            while head < q_time.size or buffer.n:
+                if buffer.n and (head == q_time.size
+                                 or buffer.tmin <= q_time[head]
+                                 or q_time[head] >= horizon):
+                    q_time = np.concatenate(
+                        [q_time[head:], buffer.time[:buffer.n]])
+                    q_net = np.concatenate(
+                        [q_net[head:], buffer.net[:buffer.n]])
+                    q_val = np.concatenate(
+                        [q_val[head:], buffer.value[:buffer.n]])
+                    q_src = np.concatenate(
+                        [q_src[head:], buffer.source[:buffer.n]])
+                    order = np.argsort(q_time, kind="stable")
+                    q_time = q_time[order]
+                    q_net = q_net[order]
+                    q_val = q_val[order]
+                    q_src = q_src[order]
+                    head = 0
+                    buffer.reset()
+                t = q_time[head]
+                if t >= horizon:
+                    # Everything left is late: apply silently in
+                    # (time, push-order) sequence, last write wins.
+                    nets_rev = q_net[head:][::-1]
+                    vals_rev = q_val[head:][::-1]
+                    uniq, first = np.unique(nets_rev,
+                                            return_index=True)
+                    values[uniq] = vals_rev[first]
+                    if track_extras:
+                        written[uniq] = True
+                    break
+                end = head + int(np.searchsorted(q_time[head:], t,
+                                                 side="right"))
+                wave_net = q_net[head:end]
+                wave_val = q_val[head:end]
+                wave_src = q_src[head:end]
+                head = end
+
+                start = 0
+                m = wave_net.size
+                while start < m:
+                    nets_s = wave_net[start:]
+                    counts = csr_count[nets_s]
+                    total = int(counts.sum())
+                    if total:
+                        offsets = np.cumsum(counts) - counts
+                        ramp = (np.arange(total, dtype=np.int64)
+                                - np.repeat(offsets, counts))
+                        load_gates = csr_gates[
+                            np.repeat(csr_start[nets_s], counts) + ramp]
+                        load_event = np.repeat(
+                            np.arange(nets_s.size, dtype=np.int64),
+                            counts)
+                        load_outputs = out_net[load_gates]
+                    else:
+                        load_gates = np.zeros(0, dtype=np.int64)
+                        load_event = load_gates
+                        load_outputs = load_gates
+                    if nets_s.size > 1:
+                        end = _first_conflict(nets_s, load_gates,
+                                              load_event, load_outputs)
+                    else:
+                        end = 1
+                    group_net = nets_s[:end]
+                    group_val = wave_val[start:start + end]
+                    group_src = wave_src[start:start + end]
+                    applied = values[group_net] != group_val
+                    n_applied = int(np.count_nonzero(applied))
+                    if n_applied:
+                        applied_net = group_net[applied]
+                        # Guards, with scalar-identical raise order:
+                        # the budget check precedes the oscillation
+                        # check at each event.
+                        new_toggles = toggles[applied_net] + 1
+                        toggles[applied_net] = new_toggles
+                        budget_pos = (budget_limit - spent
+                                      if budget_limit is not None
+                                      and spent + n_applied
+                                      > budget_limit else n_applied)
+                        osc_pos = n_applied
+                        if osc_limit is not None:
+                            over = np.flatnonzero(
+                                new_toggles > osc_limit)
+                            if over.size:
+                                osc_pos = int(over[0])
+                        if budget_pos <= osc_pos \
+                                and budget_pos < n_applied:
+                            raise SimulationBudgetError(
+                                f"event budget exhausted: spent "
+                                f"{budget_limit + 1} of {budget_limit}")
+                        if osc_pos < n_applied:
+                            net_name = value_names[
+                                int(applied_net[osc_pos])]
+                            raise SimulationBudgetError(
+                                f"net {net_name!r} toggled "
+                                f"{int(new_toggles[osc_pos])} times in "
+                                f"cycle {cycle} (oscillation_limit="
+                                f"{osc_limit}): the design is "
+                                f"oscillating or glitch-storming")
+                        spent += n_applied
+                        time_parts.append(np.full(n_applied, t))
+                        net_parts.append(applied_net)
+                        value_parts.append(group_val[applied])
+                        source_parts.append(group_src[applied])
+                    values[group_net] = group_val
+                    if track_extras:
+                        written[group_net] = True
+                    if n_applied and total:
+                        in_group = load_event < end
+                        grp_gates = load_gates[in_group]
+                        grp_event = load_event[in_group]
+                        eval_gates = grp_gates[applied[grp_event]]
+                        if eval_gates.size:
+                            new_out = self._evaluate(eval_gates, values)
+                            out_nets = out_net[eval_gates]
+                            sched = new_out != values[out_nets]
+                            if sched.any():
+                                sched_gates = eval_gates[sched]
+                                buffer.append(
+                                    t + delays[sched_gates],
+                                    out_nets[sched], new_out[sched],
+                                    sched_gates)
+                    start += end
+
+        if time_parts:
+            times = np.concatenate(time_parts)
+            nets = np.concatenate(net_parts)
+            vals = np.concatenate(value_parts)
+            sources = np.concatenate(source_parts)
+        else:
+            times = np.zeros(0)
+            nets = np.zeros(0, dtype=np.int64)
+            vals = np.zeros(0, dtype=bool)
+            sources = np.zeros(0, dtype=np.int64)
+
+        final_values = {name: bool(values[k])
+                        for k, name in enumerate(self._net_names)}
+        for name in extra_names:
+            index = extra_of[name]
+            if index in initial_keys or (track_extras
+                                         and written[index]):
+                final_values[name] = bool(values[index])
+
+        return EventTrace(
+            times=times, net_indices=nets, values=vals,
+            source_indices=sources,
+            net_names=tuple(value_names),
+            instance_names=self._instance_names,
+            final_values=final_values,
+            duration=n_cycles * self.clock_period)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CompiledEventEngine({self.netlist.name!r}, "
+                f"{self.n_gates} gates)")

@@ -179,7 +179,8 @@ def default_registry() -> List[ApiSpec]:
     from ..devices import leakage
     from ..devices.mosfet import Mosfet
     from ..digital import delay as ddelay
-    from ..digital.generators import ripple_adder
+    from ..digital.generators import ripple_adder, soc_netlist
+    from ..digital.simulator_compiled import CompiledEventEngine
     from ..digital.ssta import StatisticalTimingAnalyzer
     from ..digital.timing import delay_under_mismatch
     from ..digital.timing_compiled import CompiledTimingGraph
@@ -293,6 +294,42 @@ def default_registry() -> List[ApiSpec]:
         return delay_under_mismatch(timing_netlist, sigma_vth,
                                     n_samples=n_samples, seed=17)
 
+    sim_stimulus = {net: [True, False]
+                    for net in timing_netlist.primary_inputs}
+
+    def compiled_sim_run(clock_period: float,
+                         wire_cap_per_fanout: float,
+                         n_cycles: Any) -> Any:
+        engine = CompiledEventEngine(
+            timing_netlist, clock_period=clock_period,
+            wire_cap_per_fanout=wire_cap_per_fanout)
+        trace = engine.run(sim_stimulus, n_cycles)
+        return {"times": trace.times,
+                "activity": trace.activity_factor(n_cycles),
+                "toggles": float(trace.toggle_count())}
+
+    def trace_activity_factor(n_cycles: Any) -> float:
+        trace = CompiledEventEngine(
+            timing_netlist, clock_period=1e-9).run(sim_stimulus, 2)
+        return trace.activity_factor(n_cycles)
+
+    def soc_generator(target_gates: Any, glue_fraction: float) -> Any:
+        netlist = soc_netlist(node, target_gates=target_gates,
+                              n_blocks=2, adder_width=4,
+                              glue_fraction=glue_fraction, seed=1)
+        return {"n_gates": float(len(netlist.instances))}
+
+    def mesh_batched_solve(die_width: float,
+                           backside_resistance: float,
+                           current: float) -> Any:
+        from ..substrate.mesh import SubstrateMesh, SubstrateProcess
+        mesh = SubstrateMesh(
+            die_width, 1e-3, nx=8, ny=8,
+            process=SubstrateProcess(
+                backside_resistance=backside_resistance))
+        rhs = np.full((mesh.n_nodes, 2), current)
+        return mesh.solve(rhs)
+
     def ler_spread(sigma: float, correlation_length: float,
                    width: float) -> Dict[str, float]:
         params = ler.LerParameters(sigma=sigma,
@@ -364,6 +401,22 @@ def default_registry() -> List[ApiSpec]:
                 mismatch_delays,
                 {"sigma_vth": 0.01, "n_samples": 6},
                 ("sigma_vth", "n_samples")),
+        ApiSpec("digital.simulator_compiled.CompiledEventEngine.run",
+                compiled_sim_run,
+                {"clock_period": 1e-9,
+                 "wire_cap_per_fanout": 0.5e-15, "n_cycles": 2},
+                ("clock_period", "wire_cap_per_fanout", "n_cycles")),
+        ApiSpec("digital.simulator_compiled.EventTrace.activity_factor",
+                trace_activity_factor,
+                {"n_cycles": 2}, ("n_cycles",)),
+        ApiSpec("digital.generators.soc_netlist", soc_generator,
+                {"target_gates": 200, "glue_fraction": 0.1},
+                ("target_gates", "glue_fraction")),
+        ApiSpec("substrate.mesh.SubstrateMesh.solve",
+                mesh_batched_solve,
+                {"die_width": 1e-3, "backside_resistance": 2.0,
+                 "current": 1e-3},
+                ("die_width", "backside_resistance", "current")),
         ApiSpec("interconnect.wire.WireGeometry", wire_geometry,
                 {"pitch": 180e-9, "width_fraction": 0.5,
                  "aspect_ratio": 2.0},

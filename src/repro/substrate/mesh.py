@@ -30,8 +30,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import factorized
+from scipy.sparse.linalg import splu
 from ..robust.errors import ModelDomainError, ModelIndexError
+from ..robust.validate import check_finite, check_positive
 
 
 @dataclass(frozen=True)
@@ -63,9 +64,11 @@ class SubstrateProcess:
     backside_resistance: float = 2.0
 
     def __post_init__(self) -> None:
-        if min(self.epi_resistivity, self.epi_thickness,
-               self.bulk_resistivity, self.bulk_thickness) <= 0:
-            raise ModelDomainError("all process parameters must be positive")
+        check_positive("epi_resistivity", self.epi_resistivity)
+        check_positive("epi_thickness", self.epi_thickness)
+        check_positive("bulk_resistivity", self.bulk_resistivity)
+        check_positive("bulk_thickness", self.bulk_thickness)
+        check_positive("backside_resistance", self.backside_resistance)
 
 
 class SubstrateMesh:
@@ -82,8 +85,8 @@ class SubstrateMesh:
     def __init__(self, die_width: float, die_height: float,
                  nx: int = 40, ny: int = 40,
                  process: SubstrateProcess = SubstrateProcess()):
-        if die_width <= 0 or die_height <= 0:
-            raise ModelDomainError("die dimensions must be positive")
+        check_positive("die_width", die_width)
+        check_positive("die_height", die_height)
         if nx < 2 or ny < 2:
             raise ModelDomainError("mesh must be at least 2x2")
         self.die_width = die_width
@@ -230,22 +233,33 @@ class SubstrateMesh:
         return matrix
 
     def solve(self, currents: np.ndarray) -> np.ndarray:
-        """Node potentials [V] for an injected current vector [A].
+        """Node potentials [V] for injected current vector(s) [A].
 
-        ``currents`` may have length ``n_nodes`` (surface only) or
-        ``n_nodes + 1`` (including the bulk node); the returned vector
-        always includes the bulk node as its last entry.
+        ``currents`` may be 1-D -- length ``n_nodes`` (surface only)
+        or ``n_nodes + 1`` (including the bulk node) -- or a 2-D
+        ``(n_nodes, k)`` / ``(n_nodes + 1, k)`` matrix of ``k``
+        independent right-hand sides (e.g. one per time bin of a
+        streamed event trace).  All columns reuse the one cached LU
+        factorization.  The returned array matches the input's
+        dimensionality and always includes the bulk node as its last
+        row.
         """
         currents = np.asarray(currents, dtype=float)
-        if currents.shape == (self.n_nodes,):
-            currents = np.append(currents, 0.0)
-        if currents.shape != (self.n_nodes + 1,):
+        if currents.ndim not in (1, 2):
             raise ModelDomainError(
-                f"currents must have shape ({self.n_nodes},) or "
-                f"({self.n_nodes + 1},)")
+                f"currents must be 1-D or 2-D, got shape "
+                f"{currents.shape}")
+        check_finite("currents", currents)
+        if currents.shape[0] == self.n_nodes:
+            pad = np.zeros((1,) + currents.shape[1:])
+            currents = np.concatenate([currents, pad], axis=0)
+        if currents.shape[0] != self.n_nodes + 1:
+            raise ModelDomainError(
+                f"currents must have {self.n_nodes} or "
+                f"{self.n_nodes + 1} rows, got shape {currents.shape}")
         if self._solver is None:
-            self._solver = factorized(self.conductance_matrix())
-        return self._solver(currents)
+            self._solver = splu(self.conductance_matrix())
+        return self._solver.solve(currents)
 
     def transfer_impedance_to(self, sensor: int) -> np.ndarray:
         """Transfer impedance Z[node -> sensor] for every node [ohm].

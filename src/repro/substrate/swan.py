@@ -25,18 +25,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..digital.netlist import Netlist
 from ..digital.simulator import (EventDrivenSimulator, SimulationResult,
                                  random_stimulus)
+from ..digital.simulator_compiled import CompiledEventEngine, EventTrace
 from ..perf.profile import timed
 from .injection import (InjectionMacromodel, characterize_library)
 from .mesh import SubstrateMesh, SubstrateProcess
 from ..robust.rng import resolve_rng
 from ..robust.errors import ModelDomainError
+from ..robust.validate import check_count
 
 
 @dataclass
@@ -171,19 +173,45 @@ class SwanSimulator:
             name: (codes[inst.cell.cell_type.name],
                    self._instance_node[name])
             for name, inst in netlist.instances.items()}
+        # Gate-indexed twins of _instance_inject, in netlist insertion
+        # order: an EventTrace's source_indices gather against these
+        # without touching per-instance Python objects.
+        insts = list(netlist.instances.values())
+        self._code_by_gate = np.array(
+            [codes[inst.cell.cell_type.name] for inst in insts],
+            dtype=np.int64)
+        self._node_by_gate = np.array(
+            [self._instance_node[inst.name] for inst in insts],
+            dtype=np.int64)
         self._impedance = self.mesh.transfer_impedance_to(
             self.sensor_node)
 
     # --- event stream ----------------------------------------------------
 
     def simulate_activity(self, n_cycles: int = 5,
-                          stimulus_seed: int = 0) -> SimulationResult:
-        """Run the gate-level simulation producing switching events."""
-        simulator = EventDrivenSimulator(
-            self.netlist, clock_period=1.0 / self.clock_frequency)
+                          stimulus_seed: int = 0,
+                          engine: str = "scalar"
+                          ) -> Union[SimulationResult, EventTrace]:
+        """Run the gate-level simulation producing switching events.
+
+        ``engine="compiled"`` uses the vectorized
+        :class:`CompiledEventEngine` and returns an
+        :class:`EventTrace` (bit-identical event stream, columnar
+        container) -- the right choice for SoC-scale netlists.
+        """
+        if engine not in ("scalar", "compiled"):
+            raise ModelDomainError(
+                f"engine must be 'scalar' or 'compiled', got {engine!r}")
         stimulus = random_stimulus(self.netlist, n_cycles,
                                    seed=stimulus_seed,
                                    held_high=("en", "enable"))
+        if engine == "compiled":
+            return CompiledEventEngine(
+                self.netlist,
+                clock_period=1.0 / self.clock_frequency
+            ).run(stimulus, n_cycles)
+        simulator = EventDrivenSimulator(
+            self.netlist, clock_period=1.0 / self.clock_frequency)
         return simulator.run(stimulus, n_cycles)
 
     # --- injection + propagation ---------------------------------------------
@@ -192,11 +220,13 @@ class SwanSimulator:
         return np.arange(0.0, duration, dt)
 
     @timed("swan.superposition")
-    def injected_currents(self, result: SimulationResult,
+    def injected_currents(self, result: Union[SimulationResult,
+                                              EventTrace],
                           dt: float = 25e-12,
                           detailed: bool = False,
                           duration: Optional[float] = None,
-                          vectorized: bool = True
+                          vectorized: bool = True,
+                          chunk_events: Optional[int] = None
                           ) -> Tuple[np.ndarray, Dict[int, np.ndarray]]:
         """Per-mesh-node injected current waveforms.
 
@@ -204,35 +234,60 @@ class SwanSimulator:
         ``detailed`` the per-event detailed waveforms (with jitter and
         ringing) are used instead of the macromodels.
 
+        ``result`` may be a scalar :class:`SimulationResult` or a
+        columnar :class:`EventTrace`; the trace path gathers cell
+        codes and mesh nodes straight from the compiled arrays, so no
+        per-event Python object exists anywhere on it.
+        ``chunk_events`` bounds the size of the per-event index
+        matrices by superposing at most that many events at a time
+        (identical jitter stream; the accumulated waveform matches the
+        unchunked one to floating-point rounding).
+
         The default path superposes all events of a cell type in one
-        ``np.add.at`` scatter per type; ``vectorized=False`` runs the
-        original per-event accumulation loop (kept as the oracle --
-        both paths consume identical RNG variates, so they agree to
+        scatter per type; ``vectorized=False`` runs the original
+        per-event accumulation loop (kept as the oracle -- both paths
+        consume identical RNG variates, so they agree to
         floating-point rounding).
         """
         if not vectorized:
+            if isinstance(result, EventTrace):
+                result = result.to_result()
             return self._injected_currents_scalar(
                 result, dt=dt, detailed=detailed, duration=duration)
         duration = duration if duration is not None else result.duration
         time = self._time_axis(duration, dt)
         n_times = time.size
-        # Filter events exactly as the scalar loop does, preserving
-        # event order (the detailed path's jitter stream depends on it).
-        placed = [event for event in result.events
-                  if event.instance is not None]
-        if not placed:
-            return time, {}
-        all_starts = (np.array([event.time for event in placed])
-                      / dt).astype(int)
-        keep = all_starts < n_times
-        if not keep.any():
-            return time, {}
-        start_arr = all_starts[keep]
-        pairs = np.array([self._instance_inject[event.instance]
-                          for event, kept in zip(placed, keep)
-                          if kept])
-        code_arr = pairs[:, 0]
-        node_arr = pairs[:, 1]
+        if isinstance(result, EventTrace):
+            placed_idx = np.flatnonzero(result.source_indices >= 0)
+            if placed_idx.size == 0:
+                return time, {}
+            all_starts = (result.times[placed_idx] / dt).astype(int)
+            keep = all_starts < n_times
+            if not keep.any():
+                return time, {}
+            start_arr = all_starts[keep]
+            sources = result.source_indices[placed_idx[keep]]
+            code_arr = self._code_by_gate[sources]
+            node_arr = self._node_by_gate[sources]
+        else:
+            # Filter events exactly as the scalar loop does, preserving
+            # event order (the detailed path's jitter stream depends on
+            # it).
+            placed = [event for event in result.events
+                      if event.instance is not None]
+            if not placed:
+                return time, {}
+            all_starts = (np.array([event.time for event in placed])
+                          / dt).astype(int)
+            keep = all_starts < n_times
+            if not keep.any():
+                return time, {}
+            start_arr = all_starts[keep]
+            pairs = np.array([self._instance_inject[event.instance]
+                              for event, kept in zip(placed, keep)
+                              if kept])
+            code_arr = pairs[:, 0]
+            node_arr = pairs[:, 1]
         jitter = None
         if detailed:
             # One draw per kept event, in event order -- the same
@@ -243,6 +298,26 @@ class SwanSimulator:
         unique_nodes, node_rows = np.unique(node_arr,
                                             return_inverse=True)
         currents = np.zeros((unique_nodes.size, n_times))
+        if chunk_events is not None:
+            chunk_events = check_count("chunk_events", chunk_events)
+            for lo in range(0, start_arr.size, chunk_events):
+                hi = lo + chunk_events
+                self._superpose(
+                    start_arr[lo:hi], code_arr[lo:hi],
+                    node_rows[lo:hi],
+                    None if jitter is None else jitter[lo:hi],
+                    detailed, currents, n_times, dt)
+        else:
+            self._superpose(start_arr, code_arr, node_rows, jitter,
+                            detailed, currents, n_times, dt)
+        return time, {int(node): currents[k]
+                      for k, node in enumerate(unique_nodes)}
+
+    def _superpose(self, start_arr: np.ndarray, code_arr: np.ndarray,
+                   node_rows: np.ndarray, jitter: Optional[np.ndarray],
+                   detailed: bool, currents: np.ndarray,
+                   n_times: int, dt: float) -> None:
+        """Accumulate one batch of events into the currents matrix."""
         flat_parts: List[np.ndarray] = []
         value_parts: List[np.ndarray] = []
         for code in np.unique(code_arr):
@@ -299,8 +374,6 @@ class SwanSimulator:
                 np.concatenate(flat_parts),
                 weights=np.concatenate(value_parts),
                 minlength=currents.size).reshape(currents.shape)
-        return time, {int(node): currents[k]
-                      for k, node in enumerate(unique_nodes)}
 
     def _injected_currents_scalar(self, result: SimulationResult,
                                   dt: float = 25e-12,
@@ -359,18 +432,65 @@ class SwanSimulator:
         return NoiseWaveform(time=time,
                              voltage=self._impedance[nodes] @ matrix)
 
+    @timed("swan.stream")
+    def stream_noise(self, trace: EventTrace, dt: float = 25e-12,
+                     detailed: bool = False,
+                     duration: Optional[float] = None,
+                     chunk_events: int = 100_000) -> NoiseWaveform:
+        """Stream a columnar trace to the sensor waveform, chunkwise.
+
+        Million-event traces flow through in bounded memory: each
+        chunk of at most ``chunk_events`` events is superposed and
+        propagated through the cached transfer-impedance row, and only
+        the accumulated sensor voltage persists between chunks.  The
+        jitter stream is consumed in event order across chunks, so the
+        result matches the one-shot path to floating-point rounding.
+        """
+        chunk_events = check_count("chunk_events", chunk_events)
+        duration = duration if duration is not None else trace.duration
+        time = self._time_axis(duration, dt)
+        voltage = np.zeros(time.size)
+        for chunk in trace.chunks(chunk_events):
+            _, currents = self.injected_currents(
+                chunk, dt=dt, detailed=detailed, duration=duration)
+            if currents:
+                voltage += self.propagate(time, currents).voltage
+        return NoiseWaveform(time=time, voltage=voltage)
+
+    def node_potentials(self, node_currents: Dict[int, np.ndarray],
+                        t_indices: Sequence[int]) -> np.ndarray:
+        """Full-mesh substrate potentials at selected time bins.
+
+        Builds one ``(n_nodes + 1, k)`` right-hand-side matrix from
+        the injected-current waveforms and solves all ``k`` time bins
+        against the mesh's cached factorization in a single batched
+        call -- the noise-map view of a streamed activity trace.
+        """
+        t_indices = np.asarray(t_indices, dtype=int)
+        if t_indices.ndim != 1 or t_indices.size == 0:
+            raise ModelDomainError(
+                "t_indices must be a non-empty 1-D index sequence")
+        rhs = np.zeros((self.mesh.n_nodes + 1, t_indices.size))
+        for node, series in node_currents.items():
+            rhs[node] = np.asarray(series)[t_indices]
+        return self.mesh.solve(rhs)
+
     def run(self, n_cycles: int = 5, dt: float = 25e-12,
             detailed: bool = False,
             stimulus_seed: int = 0,
-            activity: Optional[SimulationResult] = None,
-            duration: Optional[float] = None) -> NoiseWaveform:
+            activity: Optional[Union[SimulationResult,
+                                     EventTrace]] = None,
+            duration: Optional[float] = None,
+            engine: str = "scalar") -> NoiseWaveform:
         """Full flow: activity -> injection -> propagation.
 
         ``duration`` truncates/extends the output time axis (defaults
-        to the simulated activity's span).
+        to the simulated activity's span).  ``engine="compiled"``
+        extracts activity with the vectorized event engine.
         """
         if activity is None:
-            activity = self.simulate_activity(n_cycles, stimulus_seed)
+            activity = self.simulate_activity(n_cycles, stimulus_seed,
+                                              engine=engine)
         time, currents = self.injected_currents(
             activity, dt=dt, detailed=detailed, duration=duration)
         return self.propagate(time, currents)

@@ -161,3 +161,48 @@ class TestFirFilter:
         import pytest as _pytest
         with _pytest.raises(ValueError):
             fir_filter(node, n_taps=1)
+
+
+class TestSocNetlist:
+    def test_gate_count_near_target(self, node):
+        from repro.digital import soc_netlist
+        for target in (1000, 4000):
+            soc = soc_netlist(node, target_gates=target, n_blocks=4,
+                              adder_width=4, seed=0)
+            assert abs(soc.gate_count() - target) <= 0.1 * target
+
+    def test_primary_inputs(self, node):
+        from repro.digital import soc_netlist
+        soc = soc_netlist(node, target_gates=800, n_blocks=3, seed=0)
+        assert "en" in soc.primary_inputs
+        assert "zero" in soc.primary_inputs
+        for b in range(3):
+            assert f"blk{b}_en" in soc.primary_inputs
+
+    def test_clock_gating_silences_blocks(self, node):
+        from repro.digital import (CompiledEventEngine, random_stimulus,
+                                   soc_netlist)
+        soc = soc_netlist(node, target_gates=600, n_blocks=2,
+                          adder_width=4, seed=0)
+        engine = CompiledEventEngine(soc, clock_period=2e-9)
+        enables = ["en", "blk0_en", "blk1_en"]
+        on = engine.run(random_stimulus(soc, 6, seed=1,
+                                        held_high=enables), 6)
+        off = engine.run(
+            {**random_stimulus(soc, 6, seed=1, held_high=["en"]),
+             "blk0_en": [False], "blk1_en": [False]}, 6)
+        assert on.toggle_count() > 50
+        assert off.toggle_count() < 0.2 * on.toggle_count()
+
+    def test_reproducible(self, node):
+        from repro.digital import soc_netlist
+        a = soc_netlist(node, target_gates=500, seed=4)
+        b = soc_netlist(node, target_gates=500, seed=4)
+        assert list(a.instances) == list(b.instances)
+
+    def test_validation(self, node):
+        from repro.digital import soc_netlist
+        with pytest.raises(ValueError):
+            soc_netlist(node, target_gates=0)
+        with pytest.raises(ValueError):
+            soc_netlist(node, target_gates=500, glue_fraction=1.5)

@@ -1,0 +1,337 @@
+"""Scalar-vs-compiled event-stream equivalence and EventTrace tests.
+
+The compiled engine's contract is *bit-for-bit* equality with the
+scalar oracle: identical event times, tie ordering, values, instance
+attribution and final net values for identical stimulus.  These tests
+pin that contract on hand-built topologies (chain, fanout tree,
+reconvergent glitch, DFFs), on the library generators, on a glitch
+storm that trips the budget/oscillation guards, and on random
+hypothesis netlists.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.digital import (CompiledEventEngine, EventDrivenSimulator,
+                           EventTrace, Netlist, clocked_datapath,
+                           fir_filter, lfsr, random_logic,
+                           random_stimulus, ripple_adder, soc_netlist)
+from repro.robust.errors import ModelDomainError, SimulationBudgetError
+from repro.technology import get_node
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_node("65nm")
+
+
+def assert_streams_equal(result, trace):
+    """Bit-for-bit comparison of scalar result vs compiled trace.
+
+    ``SwitchingEvent.__eq__`` compares only the time field, so every
+    field is compared explicitly here.
+    """
+    events = trace.to_events()
+    assert len(result.events) == len(events)
+    for ref, got in zip(result.events, events):
+        assert ref.time == got.time
+        assert ref.net == got.net
+        assert ref.value == got.value
+        assert ref.instance == got.instance
+    assert result.final_values == trace.final_values
+    assert result.duration == trace.duration
+
+
+def run_both(netlist, stimulus, n_cycles, initial_state=None, **kwargs):
+    result = EventDrivenSimulator(netlist, **kwargs).run(
+        stimulus, n_cycles, initial_state=initial_state)
+    trace = CompiledEventEngine(netlist, **kwargs).run(
+        stimulus, n_cycles, initial_state=initial_state)
+    return result, trace
+
+
+def inverter_chain(node, length=6):
+    netlist = Netlist(node)
+    netlist.add_input("a")
+    net = "a"
+    for i in range(length):
+        net = netlist.add_gate("INV", [net], f"n{i}").output
+    return netlist
+
+
+def glitch_storm(node, n_taps=16, spacing=40):
+    """XOR accumulation chain over spaced inverter-chain taps.
+
+    Tap spacing exceeds the XOR propagation delay, so each input edge
+    reaches the k-th accumulator XOR as ~k distinct transitions --
+    per-net toggle counts grow along the chain until a guard trips.
+    """
+    netlist = Netlist(node)
+    netlist.add_input("a")
+    src = "a"
+    taps = []
+    i = 0
+    for _ in range(n_taps):
+        for _ in range(spacing):
+            src = netlist.add_gate("INV", [src], f"c{i}").output
+            i += 1
+        taps.append(src)
+    acc = taps[0]
+    for k, tap in enumerate(taps[1:]):
+        acc = netlist.add_gate("XOR2", [acc, tap], f"x{k}").output
+    return netlist
+
+
+class TestStreamEquivalence:
+    def test_inverter_chain(self, node):
+        result, trace = run_both(inverter_chain(node),
+                                 {"a": [True, False, True]}, 3,
+                                 clock_period=1e-9)
+        assert trace.n_events > 0
+        assert_streams_equal(result, trace)
+
+    def test_fanout_tree(self, node):
+        netlist = Netlist(node)
+        netlist.add_input("a")
+        for i in range(8):
+            netlist.add_gate("BUF", ["a"], f"t{i}")
+        for i in range(4):
+            netlist.add_gate("NAND2", [f"t{2 * i}", f"t{2 * i + 1}"],
+                             f"u{i}")
+        result, trace = run_both(netlist, {"a": [True, False]}, 4,
+                                 clock_period=1e-9)
+        assert_streams_equal(result, trace)
+
+    def test_reconvergent_glitch(self, node):
+        netlist = Netlist(node)
+        netlist.add_input("a")
+        netlist.add_gate("INV", ["a"], "ab")
+        netlist.add_gate("INV", ["ab"], "abb")
+        netlist.add_gate("XOR2", ["a", "abb"], "y")
+        netlist.add_gate("XOR2", ["y", "ab"], "z")
+        result, trace = run_both(netlist, {"a": [True, False, True]},
+                                 3, clock_period=1e-9)
+        assert_streams_equal(result, trace)
+
+    def test_lfsr_with_state(self, node):
+        result, trace = run_both(lfsr(node, width=8),
+                                 {"enable": [True]}, 20,
+                                 initial_state={"q0": True},
+                                 clock_period=1e-9)
+        assert trace.n_events > 10
+        assert_streams_equal(result, trace)
+
+    def test_ripple_adder_random_stimulus(self, node):
+        adder = ripple_adder(node, width=8)
+        stimulus = random_stimulus(adder, 12, seed=3)
+        result, trace = run_both(adder, stimulus, 12,
+                                 clock_period=1e-9)
+        assert_streams_equal(result, trace)
+
+    def test_clocked_datapath(self, node):
+        netlist = clocked_datapath(node, adder_width=8, seed=7)
+        stimulus = random_stimulus(netlist, 10, seed=5)
+        result, trace = run_both(netlist, stimulus, 10,
+                                 clock_period=1e-9)
+        assert_streams_equal(result, trace)
+
+    def test_fir_filter(self, node):
+        netlist = fir_filter(node, n_taps=4, data_width=4)
+        stimulus = random_stimulus(netlist, 8, seed=2)
+        result, trace = run_both(netlist, stimulus, 8,
+                                 clock_period=1e-9)
+        assert_streams_equal(result, trace)
+
+    def test_soc_netlist(self, node):
+        soc = soc_netlist(node, target_gates=800, n_blocks=2,
+                          adder_width=4, seed=3)
+        stimulus = random_stimulus(
+            soc, 6, seed=1,
+            held_high=["en", "blk0_en", "blk1_en"])
+        result, trace = run_both(soc, stimulus, 6, clock_period=2e-9)
+        assert trace.n_events > 100
+        assert_streams_equal(result, trace)
+
+    def test_glitch_storm_stream(self, node):
+        storm = glitch_storm(node, n_taps=8)
+        result, trace = run_both(storm, {"a": [True, False]}, 2,
+                                 clock_period=50e-9)
+        assert trace.n_events > 100
+        assert_streams_equal(result, trace)
+
+    def test_stimulus_nets_outside_netlist(self, node):
+        netlist = Netlist(node)
+        netlist.add_input("a")
+        netlist.add_gate("INV", ["a"], "y")
+        result, trace = run_both(
+            netlist, {"a": [True], "ghost": [True, False]}, 3,
+            initial_state={"phantom": True, "y": True},
+            clock_period=1e-9)
+        assert_streams_equal(result, trace)
+
+    def test_late_events_apply_silently(self, node):
+        # A chain much deeper than one clock period: in-horizon
+        # events record, late ones only update final values.
+        chain = inverter_chain(node, 400)
+        result, trace = run_both(chain, {"a": [True, False]}, 2,
+                                 clock_period=100e-12)
+        assert trace.n_events < 800
+        assert_streams_equal(result, trace)
+
+
+class TestGuardParity:
+    @pytest.mark.parametrize("kwargs", [
+        {"oscillation_limit": 8},
+        {"oscillation_limit": 14},
+        {"event_budget": 200, "oscillation_limit": None},
+        {"event_budget": 5000, "oscillation_limit": 6},
+        {"event_budget": 800, "oscillation_limit": 500},
+    ])
+    def test_identical_raise(self, node, kwargs):
+        storm = glitch_storm(node)
+        messages = []
+        for cls in (EventDrivenSimulator, CompiledEventEngine):
+            sim = cls(storm, clock_period=50e-9, **kwargs)
+            with pytest.raises(SimulationBudgetError) as excinfo:
+                sim.run({"a": [True, False]}, 2)
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+
+    def test_unlimited_budget_completes(self, node):
+        storm = glitch_storm(node, n_taps=8)
+        trace = CompiledEventEngine(
+            storm, clock_period=50e-9, event_budget=None,
+            oscillation_limit=None).run({"a": [True]}, 1)
+        assert trace.n_events > 0
+
+    def test_missing_stimulus_message_parity(self, node):
+        chain = inverter_chain(node)
+        messages = []
+        for cls in (EventDrivenSimulator, CompiledEventEngine):
+            with pytest.raises(ModelDomainError) as excinfo:
+                cls(chain, clock_period=1e-9).run({}, 1)
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+
+    def test_rejects_bad_clock(self, node):
+        with pytest.raises(ValueError):
+            CompiledEventEngine(inverter_chain(node), clock_period=0.0)
+
+    def test_rejects_zero_cycles(self, node):
+        engine = CompiledEventEngine(inverter_chain(node),
+                                     clock_period=1e-9)
+        with pytest.raises(ValueError):
+            engine.run({"a": [True]}, n_cycles=0)
+
+    def test_rejects_empty_pattern(self, node):
+        engine = CompiledEventEngine(inverter_chain(node),
+                                     clock_period=1e-9)
+        with pytest.raises(ModelDomainError, match="empty stimulus"):
+            engine.run({"a": []}, n_cycles=1)
+
+
+class TestEventTrace:
+    @pytest.fixture(scope="class")
+    def trace(self, node):
+        netlist = clocked_datapath(node, adder_width=8, seed=7)
+        stimulus = random_stimulus(netlist, 10, seed=5)
+        return CompiledEventEngine(netlist, clock_period=1e-9).run(
+            stimulus, 10)
+
+    def test_accessors_match_scalar_result(self, node, trace):
+        result = trace.to_result()
+        assert trace.toggle_count() == result.toggle_count()
+        some_net = trace.net_names[int(trace.net_indices[0])]
+        assert (trace.toggle_count(some_net)
+                == result.toggle_count(some_net))
+        assert trace.toggle_count("no_such_net") == 0
+        assert trace.activity_factor(10) == pytest.approx(
+            result.activity_factor(10))
+
+    def test_events_by_instance_groups(self, trace):
+        grouped = trace.events_by_instance()
+        scalar_grouped = trace.to_result().events_by_instance()
+        assert set(grouped) == set(scalar_grouped)
+        for name, indices in grouped.items():
+            assert [trace.net_names[int(trace.net_indices[k])]
+                    for k in indices] \
+                == [e.net for e in scalar_grouped[name]]
+
+    def test_chunks_partition_stream(self, trace):
+        chunks = list(trace.chunks(100))
+        assert sum(c.n_events for c in chunks) == trace.n_events
+        rebuilt = np.concatenate([c.times for c in chunks])
+        assert np.array_equal(rebuilt, trace.times)
+        assert all(c.n_events <= 100 for c in chunks)
+
+    def test_activity_factor_validates(self, trace):
+        with pytest.raises(ValueError):
+            trace.activity_factor(0)
+        with pytest.raises(ValueError):
+            trace.activity_factor(float("nan"))
+
+    def test_empty_trace(self, node):
+        chain = inverter_chain(node, 3)
+        trace = CompiledEventEngine(chain, clock_period=1e-9).run(
+            {"a": [False]}, 3)
+        assert trace.n_events == 0
+        assert trace.activity_factor(3) == 0.0
+        assert trace.events_by_instance() == {}
+        assert trace.to_events() == []
+
+
+class TestHypothesisEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n_gates=st.integers(min_value=5, max_value=40),
+           sequential_fraction=st.floats(min_value=0.0, max_value=0.4),
+           n_cycles=st.integers(min_value=1, max_value=6))
+    def test_random_netlists(self, seed, n_gates,
+                             sequential_fraction, n_cycles):
+        node = get_node("65nm")
+        netlist = random_logic(
+            node, n_gates=n_gates, n_inputs=4, seed=seed,
+            sequential_fraction=sequential_fraction)
+        stimulus = random_stimulus(netlist, n_cycles, seed=seed + 1)
+        result, trace = run_both(netlist, stimulus, n_cycles,
+                                 clock_period=1e-9)
+        assert_streams_equal(result, trace)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           limit=st.integers(min_value=2, max_value=12))
+    def test_random_guard_parity(self, seed, limit):
+        node = get_node("65nm")
+        storm = glitch_storm(node, n_taps=14)
+        outcomes = []
+        for cls in (EventDrivenSimulator, CompiledEventEngine):
+            sim = cls(storm, clock_period=50e-9,
+                      oscillation_limit=limit,
+                      event_budget=50_000 + seed)
+            try:
+                sim.run({"a": [True, False]}, 2)
+                outcomes.append("completed")
+            except SimulationBudgetError as error:
+                outcomes.append(str(error))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestMemoizedResultAccessors:
+    def test_events_by_instance_cached(self, node):
+        chain = inverter_chain(node, 3)
+        result = EventDrivenSimulator(chain, clock_period=1e-9).run(
+            {"a": [True, False]}, 2)
+        first = result.events_by_instance()
+        assert result.events_by_instance() is first
+        assert set(first) == {"u0", "u1", "u2"}
+
+    def test_toggle_count_cached(self, node):
+        chain = inverter_chain(node, 3)
+        result = EventDrivenSimulator(chain, clock_period=1e-9).run(
+            {"a": [True, False]}, 2)
+        assert result.toggle_count("n0") == 2
+        assert result._toggles_by_net is not None
+        assert result.toggle_count("n0") == 2
+        assert result.toggle_count("absent") == 0
+        assert result.toggle_count() == len(result.events)

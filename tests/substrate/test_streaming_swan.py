@@ -1,0 +1,162 @@
+"""EventTrace streaming through SWAN and the batched mesh solve.
+
+The compiled trace path must inject *exactly* the same currents as
+the scalar ``SimulationResult`` path (both gather the same cell codes
+and mesh nodes, and the jitter stream is drawn in identical event
+order), and the chunked/streamed paths must match the one-shot paths
+to floating-point rounding.  The batched multi-RHS mesh solve must
+match per-column solves exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.digital import ripple_adder
+from repro.robust.errors import ModelDomainError
+from repro.substrate import SubstrateMesh, SubstrateProcess
+from repro.substrate.swan import EventTrace, SwanSimulator
+from repro.technology import get_node
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_node("65nm")
+
+
+@pytest.fixture(scope="module")
+def netlist(node):
+    return ripple_adder(node, width=6)
+
+
+@pytest.fixture(scope="module")
+def streams(netlist):
+    """(scalar result, compiled trace) for identical stimulus."""
+    sim = SwanSimulator(netlist, mesh_resolution=10, seed=0)
+    result = sim.simulate_activity(n_cycles=4, stimulus_seed=1)
+    trace = sim.simulate_activity(n_cycles=4, stimulus_seed=1,
+                                  engine="compiled")
+    return result, trace
+
+
+class TestSimulateActivityEngines:
+    def test_compiled_returns_trace(self, streams):
+        result, trace = streams
+        assert isinstance(trace, EventTrace)
+        assert len(result.events) == trace.n_events
+        assert result.final_values == trace.final_values
+
+    def test_bad_engine_rejected(self, netlist):
+        sim = SwanSimulator(netlist, mesh_resolution=10, seed=0)
+        with pytest.raises(ModelDomainError, match="engine"):
+            sim.simulate_activity(engine="spice")
+
+
+class TestTraceInjection:
+    @pytest.mark.parametrize("detailed", [False, True])
+    def test_trace_matches_result_exactly(self, netlist, streams,
+                                          detailed):
+        result, trace = streams
+        sim_r = SwanSimulator(netlist, mesh_resolution=10, seed=0)
+        sim_t = SwanSimulator(netlist, mesh_resolution=10, seed=0)
+        t_r, cur_r = sim_r.injected_currents(result, detailed=detailed)
+        t_t, cur_t = sim_t.injected_currents(trace, detailed=detailed)
+        assert np.array_equal(t_r, t_t)
+        assert set(cur_r) == set(cur_t)
+        for mesh_node, wave in cur_r.items():
+            assert np.array_equal(cur_t[mesh_node], wave)
+
+    @pytest.mark.parametrize("detailed", [False, True])
+    def test_chunked_matches_one_shot(self, netlist, streams,
+                                      detailed):
+        _, trace = streams
+        one = SwanSimulator(netlist, mesh_resolution=10, seed=0)
+        chunked = SwanSimulator(netlist, mesh_resolution=10, seed=0)
+        _, cur_one = one.injected_currents(trace, detailed=detailed)
+        _, cur_chk = chunked.injected_currents(
+            trace, detailed=detailed, chunk_events=7)
+        assert set(cur_one) == set(cur_chk)
+        for mesh_node, wave in cur_one.items():
+            np.testing.assert_allclose(cur_chk[mesh_node], wave,
+                                       rtol=0, atol=1e-15)
+
+    def test_stream_noise_matches_run(self, netlist, streams):
+        _, trace = streams
+        one = SwanSimulator(netlist, mesh_resolution=10, seed=0)
+        streamed = SwanSimulator(netlist, mesh_resolution=10, seed=0)
+        reference = one.run(activity=trace)
+        wave = streamed.stream_noise(trace, chunk_events=5)
+        assert np.array_equal(reference.time, wave.time)
+        np.testing.assert_allclose(wave.voltage, reference.voltage,
+                                   rtol=0, atol=1e-12)
+
+    def test_stream_noise_validates_chunk(self, netlist, streams):
+        _, trace = streams
+        sim = SwanSimulator(netlist, mesh_resolution=10, seed=0)
+        with pytest.raises(ValueError):
+            sim.stream_noise(trace, chunk_events=0)
+
+    def test_run_with_compiled_engine(self, netlist):
+        scalar = SwanSimulator(netlist, mesh_resolution=10, seed=0)
+        compiled = SwanSimulator(netlist, mesh_resolution=10, seed=0)
+        wave_s = scalar.run(n_cycles=3, stimulus_seed=2)
+        wave_c = compiled.run(n_cycles=3, stimulus_seed=2,
+                              engine="compiled")
+        assert np.array_equal(wave_c.voltage, wave_s.voltage)
+
+
+class TestNodePotentials:
+    def test_matches_per_column_solve(self, netlist, streams):
+        _, trace = streams
+        sim = SwanSimulator(netlist, mesh_resolution=10, seed=0)
+        _, currents = sim.injected_currents(trace)
+        t_indices = [0, 3, 11]
+        batched = sim.node_potentials(currents, t_indices)
+        assert batched.shape == (sim.mesh.n_nodes + 1, 3)
+        for k, t in enumerate(t_indices):
+            rhs = np.zeros(sim.mesh.n_nodes + 1)
+            for mesh_node, series in currents.items():
+                rhs[mesh_node] = series[t]
+            assert np.array_equal(sim.mesh.solve(rhs), batched[:, k])
+
+    def test_validates_indices(self, netlist):
+        sim = SwanSimulator(netlist, mesh_resolution=10, seed=0)
+        with pytest.raises(ModelDomainError):
+            sim.node_potentials({}, [])
+        with pytest.raises(ModelDomainError):
+            sim.node_potentials({}, [[0, 1]])
+
+
+class TestBatchedMeshSolve:
+    def test_batched_equals_per_column(self):
+        mesh = SubstrateMesh(2e-3, 1.5e-3, nx=12, ny=9)
+        rng = np.random.default_rng(0)
+        currents = rng.normal(scale=1e-4, size=(mesh.n_nodes, 5))
+        batched = mesh.solve(currents)
+        assert batched.shape == (mesh.n_nodes + 1, 5)
+        for k in range(5):
+            column = mesh.solve(currents[:, k])
+            assert np.array_equal(column, batched[:, k])
+
+    def test_factorization_cached(self):
+        mesh = SubstrateMesh(2e-3, 2e-3, nx=8, ny=8)
+        mesh.solve(np.ones(mesh.n_nodes))
+        solver = mesh._solver
+        mesh.solve(np.ones(mesh.n_nodes))
+        assert mesh._solver is solver
+
+    def test_rejects_bad_shapes(self):
+        mesh = SubstrateMesh(2e-3, 2e-3, nx=8, ny=8)
+        with pytest.raises(ModelDomainError):
+            mesh.solve(np.ones((2, 2, 2)))
+        with pytest.raises(ModelDomainError):
+            mesh.solve(np.ones(mesh.n_nodes + 5))
+        with pytest.raises(ValueError):
+            mesh.solve(np.full(mesh.n_nodes, np.nan))
+
+    def test_rejects_nonfinite_construction(self):
+        with pytest.raises(ValueError):
+            SubstrateMesh(float("nan"), 2e-3)
+        with pytest.raises(ValueError):
+            SubstrateProcess(epi_resistivity=float("inf"))
+        with pytest.raises(ValueError):
+            SubstrateProcess(backside_resistance=-1.0)

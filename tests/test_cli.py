@@ -130,3 +130,25 @@ class TestCliHardening:
         err = capsys.readouterr().err
         assert err.startswith("error (strict):")
         assert "calibrated" in err
+
+
+class TestSocNoiseCommand:
+    def test_smoke_table(self, capsys):
+        assert main(["soc-noise", "--gates", "400", "--blocks", "2",
+                     "--cycles", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        for column in ("gates", "events", "activity", "rms_uV",
+                       "p2p_uV"):
+            assert column in out
+
+    def test_chunked_streaming_accepted(self, capsys):
+        assert main(["soc-noise", "--gates", "400", "--blocks", "2",
+                     "--cycles", "4", "--chunk-events", "50"]) == 0
+        assert "events" in capsys.readouterr().out
+
+    def test_exhausted_budget_is_one_liner(self, capsys):
+        assert main(["soc-noise", "--gates", "400", "--blocks", "2",
+                     "--cycles", "4", "--event-budget", "10"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "budget" in err
