@@ -97,29 +97,131 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _exec_policy_and_chaos(args):
+    """(RetryPolicy, ChaosPlan | None) from the shared exec flags."""
+    from .exec import ChaosPlan, ChaosSpec, RetryPolicy
+    policy = RetryPolicy(max_retries=args.retries,
+                         timeout_s=args.timeout,
+                         backoff_initial_s=args.backoff)
+    chaos = None
+    if args.chaos_seed is not None:
+        chaos = ChaosPlan(
+            ChaosSpec(seed=args.chaos_seed,
+                      crash_rate=args.chaos_crash,
+                      hang_rate=args.chaos_hang,
+                      poison_rate=args.chaos_poison),
+            policy=policy)
+    return policy, chaos
+
+
+def _run_workload(workload, args):
+    """Run one workload through the sharded executor (CLI flags)."""
+    from .exec import run_sharded
+    policy, chaos = _exec_policy_and_chaos(args)
+    return run_sharded(workload, n_shards=args.shards,
+                       policy=policy, backend=args.backend,
+                       checkpoint=args.checkpoint,
+                       resume=args.resume, chaos=chaos,
+                       strict=args.strict)
+
+
+def _print_partial(partial) -> None:
+    """Degraded-mode output: honest coverage, no fake full rows."""
+    print(f"warning: {partial.summary()}", file=sys.stderr)
+    row = dict(partial.statistics)
+    if partial.yield_bounds:
+        wilson = partial.yield_bounds["wilson"]
+        exact = partial.yield_bounds["clopper_pearson"]
+        row.update({"wilson_low": wilson.lower,
+                    "wilson_high": wilson.upper,
+                    "exact_low": exact.lower,
+                    "exact_high": exact.upper})
+    _print_table([row])
+
+
+def cmd_yield(args) -> int:
+    from .exec import (PartialResult, YieldWorkload,
+                       clopper_pearson_interval, wilson_interval)
+    workload = YieldWorkload(
+        node_name=args.node, metric=args.metric, limit=args.limit,
+        n_dies=args.dies, seed=args.seed)
+    result = _run_workload(workload, args)
+    if isinstance(result, PartialResult):
+        _print_partial(result)
+        return 0
+    value = result.value
+    wilson = wilson_interval(value.n_pass, value.n_samples)
+    exact = clopper_pearson_interval(value.n_pass, value.n_samples)
+    _print_table([{
+        "node": args.node,
+        "metric": args.metric,
+        "n_dies": float(value.n_samples),
+        "yield_fraction": value.yield_fraction,
+        "wilson_low": wilson.lower,
+        "wilson_high": wilson.upper,
+        "exact_low": exact.lower,
+        "exact_high": exact.upper,
+    }])
+    return 0
+
+
 def cmd_chain_yield(args) -> int:
     from .analog import ChainSpec, chain_yield_vs_node
     from .robust import RoadmapDataError
     from .technology import get_node
-    nodes = None
-    if args.nodes:
+    node_names = args.nodes.split(",") if args.nodes else None
+    if node_names:
         try:
-            nodes = [get_node(name) for name in args.nodes.split(",")]
+            for name in node_names:
+                get_node(name)
         except RoadmapDataError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
+    columns = ["node", "yield_fraction", "enob_mean", "enob_min",
+               "dnl_worst_lsb", "inl_worst_lsb", "n_dies"]
+    if args.shards is not None:
+        from .exec import ChainSignoffWorkload, PartialResult
+        from .technology import all_nodes
+        names = node_names or [n.name for n in all_nodes()]
+        rows = []
+        for name in names:
+            workload = ChainSignoffWorkload(
+                node_name=name, n_dies=args.dies, seed=args.seed,
+                dnl_limit=args.dnl_limit, inl_limit=args.inl_limit,
+                enob_min=args.enob_min)
+            result = _run_workload(workload, args)
+            if isinstance(result, PartialResult):
+                _print_partial(result)
+            else:
+                rows.append(result.value)
+        if rows:
+            _print_table(rows, columns=columns)
+        return 0
+    nodes = ([get_node(name) for name in node_names]
+             if node_names else None)
     spec = ChainSpec(dnl_limit=args.dnl_limit, inl_limit=args.inl_limit,
                      enob_min=args.enob_min)
     rows = chain_yield_vs_node(nodes=nodes, spec=spec,
                                n_dies=args.dies, seed=args.seed,
                                vectorized=not args.scalar)
-    _print_table(rows, columns=["node", "yield_fraction", "enob_mean",
-                                "enob_min", "dnl_worst_lsb",
-                                "inl_worst_lsb", "n_dies"])
+    _print_table(rows, columns=columns)
     return 0
 
 
 def cmd_soc_noise(args) -> int:
+    if args.shards is not None:
+        from .exec import PartialResult, SocNoiseWorkload
+        workload = SocNoiseWorkload(
+            node_name=args.node, target_gates=args.gates,
+            n_blocks=args.blocks, n_cycles=args.cycles,
+            frequency=args.frequency, seed=args.seed,
+            event_budget=args.event_budget)
+        result = _run_workload(workload, args)
+        if isinstance(result, PartialResult):
+            _print_partial(result)
+            return 0
+        _print_table([result.value])
+        return 0
     from .digital import random_stimulus, soc_netlist
     from .digital.simulator_compiled import CompiledEventEngine
     from .substrate import SwanSimulator
@@ -171,6 +273,40 @@ def cmd_figures(_args) -> int:
     for name, description in index:
         print(f"  {name:>22}: {description}")
     return 0
+
+
+def _add_exec_args(parser, default_shards=None) -> None:
+    """The sharded-execution flags shared by MC subcommands."""
+    group = parser.add_argument_group("sharded execution")
+    group.add_argument("--shards", type=int, default=default_shards,
+                       help="split the run into N fault-tolerant "
+                            "shards (fixed-seed results are "
+                            "bit-identical for any N)")
+    group.add_argument("--timeout", type=float, default=None,
+                       help="per-shard attempt timeout [s]")
+    group.add_argument("--retries", type=int, default=2,
+                       help="retries per shard (same stream replays)")
+    group.add_argument("--backoff", type=float, default=0.05,
+                       help="initial retry back-off [s] (doubles, "
+                            "bounded)")
+    group.add_argument("--backend", choices=("serial", "process"),
+                       default="serial",
+                       help="run shards in-process or in worker "
+                            "processes")
+    group.add_argument("--checkpoint", default=None,
+                       help="JSON file recording completed shards")
+    group.add_argument("--resume", action="store_true",
+                       help="load completed shards from --checkpoint "
+                            "instead of re-running them")
+    group.add_argument("--chaos-seed", type=int, default=None,
+                       help="inject a seeded crash/hang/poison fault "
+                            "schedule (testing the fault tolerance)")
+    group.add_argument("--chaos-crash", type=float, default=0.2,
+                       help="per-attempt injected crash rate")
+    group.add_argument("--chaos-hang", type=float, default=0.1,
+                       help="per-attempt injected hang rate")
+    group.add_argument("--chaos-poison", type=float, default=0.2,
+                       help="per-attempt poisoned-payload rate")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -228,7 +364,23 @@ def build_parser() -> argparse.ArgumentParser:
     chain_parser.add_argument("--scalar", action="store_true",
                               help="use the per-die scalar oracle "
                                    "instead of the batched path")
+    _add_exec_args(chain_parser)
     chain_parser.set_defaults(func=cmd_chain_yield)
+
+    yield_parser = sub.add_parser(
+        "yield",
+        help="sharded Monte Carlo yield of one node with binomial "
+             "confidence bounds")
+    yield_parser.add_argument("--node", default="65nm")
+    yield_parser.add_argument("--metric", default="vth-shift",
+                              help="named DieBatch metric (see "
+                                   "repro.exec.YIELD_METRICS)")
+    yield_parser.add_argument("--limit", type=float, default=0.03,
+                              help="pass/fail limit on the metric")
+    yield_parser.add_argument("--dies", type=int, default=500)
+    yield_parser.add_argument("--seed", type=int, default=0)
+    _add_exec_args(yield_parser, default_shards=1)
+    yield_parser.set_defaults(func=cmd_yield)
 
     soc_parser = sub.add_parser(
         "soc-noise",
@@ -247,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     soc_parser.add_argument("--chunk-events", type=int,
                             default=100_000,
                             help="events per streamed SWAN chunk")
+    _add_exec_args(soc_parser)
     soc_parser.set_defaults(func=cmd_soc_noise)
 
     sub.add_parser("figures", help="index of figure benchmarks"

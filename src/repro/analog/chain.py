@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -54,7 +54,7 @@ from ..variability.pelgrom import (offset_sigma_diff_pair,
                                    sigma_capacitor_mismatch,
                                    sigma_resistor_mismatch)
 from ..variability.statistical import (MonteCarloSampler, SampledDie,
-                                       VariationSpec)
+                                       VariationSpec, check_shard)
 from .circuits import OtaDesign
 from .metrics import (LinearityReport, SpectralReport, histogram_linearity,
                       histogram_linearity_batch, spectral_metrics,
@@ -563,7 +563,8 @@ def chain_signoff_batch(sampler: MonteCarloSampler,
                         n_dies: int = 64,
                         n_ramp_per_code: int = 16, n_fft: int = 1024,
                         cycles: int = 67,
-                        amplitude_fraction: float = 0.9
+                        amplitude_fraction: float = 0.9,
+                        shard: Optional[Tuple[int, int]] = None
                         ) -> ChainSignoff:
     """Sign off ``n_dies`` Monte Carlo chains in one batched pass.
 
@@ -574,10 +575,19 @@ def chain_signoff_batch(sampler: MonteCarloSampler,
     stream, so child ``d`` here is the very generator die ``d`` of the
     scalar loop would own).  All result fields gain a leading
     ``n_dies`` axis.
+
+    With ``shard=(start, stop)`` only that slice of the same
+    ``n_dies`` population is signed off: the inter-die batch is
+    sliced by :meth:`MonteCarloSampler.sample_dies_batch` and only
+    the sharded dies' spawned children are consumed, so row ``k`` of
+    a sharded result is bit-for-bit row ``start + k`` of the full
+    result -- the merge contract of :mod:`repro.exec`.
     """
     design = design if design is not None else ChainDesign()
-    batch = sampler.sample_dies_batch(n_dies)
-    children = sampler.rng.spawn(n_dies)
+    shard = check_shard(shard, n_dies)
+    start, stop = shard if shard is not None else (0, n_dies)
+    batch = sampler.sample_dies_batch(n_dies, shard=shard)
+    children = sampler.rng.spawn(n_dies)[start:stop]
     draws = np.stack([child.standard_normal(
         _draws_per_die(design.n_bits)) for child in children])
     chain = SignalChain._from_draws(sampler.node, design,

@@ -52,6 +52,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..robust.errors import ModelDomainError, SimulationBudgetError
+from ..robust.guards import SimulationBudget
 from ..robust.validate import check_count, check_positive
 from .gates import CELL_TYPES
 from .netlist import Netlist
@@ -456,6 +457,11 @@ class CompiledEventEngine:
         :class:`EventTrace` keeps the stream columnar.
         """
         n_cycles = check_count("n_cycles", n_cycles)
+        # Same diagnostic bookkeeping as the scalar oracle's guard:
+        # supplies the pinned exhaustion message (count + wall-clock).
+        run_budget = SimulationBudget(self.event_budget,
+                                      name="event budget",
+                                      raise_on_exhaust=False)
         missing = [net for net in self._primary_inputs
                    if net not in stimulus]
         if missing:
@@ -649,9 +655,9 @@ class CompiledEventEngine:
                                 osc_pos = int(over[0])
                         if budget_pos <= osc_pos \
                                 and budget_pos < n_applied:
+                            run_budget.spent = budget_limit + 1
                             raise SimulationBudgetError(
-                                f"event budget exhausted: spent "
-                                f"{budget_limit + 1} of {budget_limit}")
+                                run_budget.exhaustion_message())
                         if osc_pos < n_applied:
                             net_name = value_names[
                                 int(applied_net[osc_pos])]

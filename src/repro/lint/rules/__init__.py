@@ -68,4 +68,5 @@ def get_rules(select: Optional[Sequence[str]] = None,
 
 def _load_builtin_rules() -> None:
     """Import the rule modules exactly once (registration side effect)."""
-    from . import rng, validation, exceptions, registry, vectorization  # noqa: F401
+    from . import (rng, validation, exceptions, registry,  # noqa: F401
+                   vectorization, shard_rng)  # noqa: F401

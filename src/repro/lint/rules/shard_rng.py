@@ -1,0 +1,120 @@
+"""R006 shard-seed-discipline: shard entry points must replay.
+
+The sharded executor (:mod:`repro.exec`) guarantees that any shard of
+a fixed-seed Monte Carlo run is bit-for-bit a slice of the
+single-process run -- which is only true if a shard's variates are a
+pure function of the *explicit* seed and the shard range.  Two RNG
+idioms silently break that:
+
+* ``resolve_rng()`` with neither an injected generator nor a seed --
+  it hands out the *next* child of the process-global root stream, so
+  the draws depend on how many unseeded calls ran before this one
+  (i.e. on worker scheduling and retry history);
+* ``spawn_seed()`` -- the same global child counter, one level down.
+
+Both are fine in ordinary model code (deterministic per process run);
+inside a *shard entry point* -- a function taking a ``shard``
+parameter, or named ``run_shard`` -- they make retries and
+redistributions produce different numbers, which is exactly the bug
+class :mod:`repro.exec` exists to exclude.  The fix is always to
+thread an explicit ``seed``/``rng`` from the workload parameters.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..astutil import (ImportMap, dotted_name, is_none_constant,
+                       walk_with_function_stack)
+from ..context import ModuleInfo
+from ..findings import Finding
+from . import Rule, register
+
+#: Canonical paths of the flagged helpers (absolute-import form).
+_RESOLVE_RNG = "repro.robust.rng.resolve_rng"
+_SPAWN_SEED = "repro.robust.rng.spawn_seed"
+
+
+def _is_shard_function(fn: ast.AST) -> bool:
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    if fn.name == "run_shard":
+        return True
+    args = fn.args
+    names = [arg.arg for arg in
+             args.posonlyargs + args.args + args.kwonlyargs]
+    return "shard" in names
+
+
+def _names(call: ast.Call, imports: ImportMap):
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return "", ""
+    return dotted, imports.canonical(dotted)
+
+
+def _resolve_rng_unseeded(call: ast.Call) -> bool:
+    """True when the call pins neither ``rng`` nor ``seed``.
+
+    Positional or keyword arguments that are anything but a literal
+    ``None`` count as pinned -- forwarding a caller's ``seed``
+    variable is the sanctioned idiom.
+    """
+    pinned = [arg for arg in call.args
+              if not is_none_constant(arg)]
+    pinned += [kw for kw in call.keywords
+               if kw.arg in ("rng", "seed")
+               and not is_none_constant(kw.value)]
+    pinned += [kw for kw in call.keywords if kw.arg is None]
+    return not pinned
+
+
+@register
+class ShardSeedDisciplineRule(Rule):
+    code = "R006"
+    name = "shard-seed-discipline"
+    description = (
+        "Shard entry points (functions with a 'shard' parameter or "
+        "named run_shard) must not draw from the process-global "
+        "root stream: no unseeded resolve_rng(), no spawn_seed().")
+
+    def check_module(self, info: ModuleInfo) -> Iterable[Finding]:
+        if info.module == "repro.robust.rng":
+            return []
+        imports = ImportMap(info.tree)
+        findings: List[Finding] = []
+        for node, stack in walk_with_function_stack(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not any(_is_shard_function(fn) for fn in stack):
+                continue
+            dotted, canonical = _names(node, imports)
+            bare = dotted.split(".")[-1]
+            owner = next(fn.name for fn in reversed(stack)
+                         if _is_shard_function(fn))
+            if (canonical == _SPAWN_SEED
+                    or (bare == "spawn_seed"
+                        and "." not in dotted)):
+                findings.append(Finding(
+                    path=str(info.path), line=node.lineno,
+                    col=node.col_offset, code=self.code,
+                    message=(
+                        f"shard entry point '{owner}' calls "
+                        "spawn_seed(): draws then depend on global "
+                        "call order, breaking the shard replay "
+                        "contract; thread an explicit seed "
+                        "instead")))
+            elif (canonical == _RESOLVE_RNG
+                    or (bare == "resolve_rng"
+                        and "." not in dotted)):
+                if _resolve_rng_unseeded(node):
+                    findings.append(Finding(
+                        path=str(info.path), line=node.lineno,
+                        col=node.col_offset, code=self.code,
+                        message=(
+                            f"shard entry point '{owner}' calls "
+                            "resolve_rng() without rng or seed: the "
+                            "stream depends on global call order, "
+                            "breaking the shard replay contract")))
+        return findings

@@ -23,13 +23,18 @@ from .errors import (
     CalibrationError,
     ConvergenceError,
     ConvergenceWarning,
+    ExecBudgetError,
+    ExecError,
     ModelDomainError,
     ModelDomainWarning,
     ModelIndexError,
+    PoisonedResultError,
     ReproError,
     ReproWarning,
     RoadmapDataError,
+    ShardTimeoutError,
     SimulationBudgetError,
+    WorkerCrashError,
 )
 from .guards import ConvergenceReport, IterationGuard, SimulationBudget
 from .rng import DEFAULT_ROOT_SEED, reseed, resolve_rng, spawn_seed
@@ -56,6 +61,8 @@ __all__ = [
     "ReproError", "ModelDomainError", "ConvergenceError",
     "RoadmapDataError", "SimulationBudgetError", "CalibrationError",
     "ModelIndexError",
+    "ExecError", "WorkerCrashError", "ShardTimeoutError",
+    "PoisonedResultError", "ExecBudgetError",
     "ReproWarning", "ModelDomainWarning", "ConvergenceWarning",
     "ConvergenceReport", "IterationGuard", "SimulationBudget",
     "DEFAULT_ROOT_SEED", "resolve_rng", "reseed", "spawn_seed",

@@ -71,6 +71,51 @@ class CalibrationError(ReproError, RuntimeError):
     """An operation requires calibration data that is not present."""
 
 
+class ExecError(ReproError, RuntimeError):
+    """Base class of the fault-tolerant execution layer's failures.
+
+    Everything the sharded Monte Carlo runtime (:mod:`repro.exec`) can
+    diagnose about a *worker* -- crashes, hangs, poisoned results --
+    is reported through a subclass, so retry logic can distinguish
+    recoverable shard failures from model-domain errors that would
+    fail identically on every attempt.
+    """
+
+
+class WorkerCrashError(ExecError):
+    """A shard worker process died before delivering its result.
+
+    Covers nonzero exit codes, killed processes, and in-process
+    workers that raised an untyped exception.
+    """
+
+
+class ShardTimeoutError(ExecError):
+    """A shard attempt exceeded its :class:`RetryPolicy` timeout.
+
+    The worker (if any) has been terminated; the shard replays the
+    same deterministic child stream on retry.
+    """
+
+
+class PoisonedResultError(ExecError):
+    """A shard delivered a result that fails payload validation.
+
+    Non-finite statistics, wrong array lengths, or counts outside the
+    shard's die range -- the symptoms of a corrupted worker.  The
+    payload is discarded and the shard retried.
+    """
+
+
+class ExecBudgetError(ExecError):
+    """The retry budget of a sharded run is exhausted.
+
+    Raised by :func:`repro.exec.run_sharded` in strict mode (and
+    always when *no* shard completed); in degraded mode the run
+    returns a typed :class:`repro.exec.PartialResult` instead.
+    """
+
+
 class ModelIndexError(ReproError, IndexError):
     """An index or position lies outside a model grid or sample set.
 

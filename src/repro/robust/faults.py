@@ -257,6 +257,41 @@ def default_registry() -> List[ApiSpec]:
             stack=ThermalStack(rth_junction_to_ambient=rth),
             max_iterations=8)
 
+    def retry_policy(timeout_s: float, backoff_initial_s: float,
+                     backoff_factor: float) -> Any:
+        from ..exec import RetryPolicy
+        return RetryPolicy(max_retries=2, timeout_s=timeout_s,
+                           backoff_initial_s=backoff_initial_s,
+                           backoff_factor=backoff_factor
+                           ).delay_before(2)
+
+    def chaos_spec(crash_rate: float, hang_rate: float,
+                   poison_rate: float) -> Any:
+        from ..exec import ChaosSpec
+        return ChaosSpec(seed=7, crash_rate=crash_rate,
+                         hang_rate=hang_rate,
+                         poison_rate=poison_rate).total_rate
+
+    def exec_plan_shards(n_total: Any, n_shards: Any) -> Any:
+        from ..exec import plan_shards
+        return [s.size for s in plan_shards(n_total, n_shards)]
+
+    def exec_wilson(n_pass: Any, level: float) -> Any:
+        from ..exec import wilson_interval
+        return wilson_interval(n_pass, 50, level=level)
+
+    def exec_clopper_pearson(n_pass: Any, level: float) -> Any:
+        from ..exec import clopper_pearson_interval
+        return clopper_pearson_interval(n_pass, 50, level=level)
+
+    def exec_run_sharded(limit: float, n_shards: Any) -> Any:
+        from ..exec import YieldWorkload, run_sharded
+        result = run_sharded(
+            YieldWorkload(node_name="65nm", metric="vth-shift",
+                          limit=limit, n_dies=8, seed=11),
+            n_shards=n_shards, env_chaos=False, use_cache=False)
+        return result.value.yield_fraction
+
     coherent_record = np.sin(
         2.0 * np.pi * 5.0 * np.arange(128) / 128.0)
     ramp_codes_2bit = np.repeat(np.arange(4), 4)
@@ -575,4 +610,26 @@ def default_registry() -> List[ApiSpec]:
                 electrothermal,
                 {"frequency": 1e9, "activity": 0.1, "rth": 1.0},
                 ("frequency", "activity", "rth")),
+        ApiSpec("exec.policy.RetryPolicy", retry_policy,
+                {"timeout_s": 1.0, "backoff_initial_s": 0.05,
+                 "backoff_factor": 2.0},
+                ("timeout_s", "backoff_initial_s",
+                 "backoff_factor")),
+        ApiSpec("exec.chaos.ChaosSpec", chaos_spec,
+                {"crash_rate": 0.2, "hang_rate": 0.1,
+                 "poison_rate": 0.2},
+                ("crash_rate", "hang_rate", "poison_rate")),
+        ApiSpec("exec.shards.plan_shards", exec_plan_shards,
+                {"n_total": 100, "n_shards": 7},
+                ("n_total", "n_shards")),
+        ApiSpec("exec.result.wilson_interval", exec_wilson,
+                {"n_pass": 45, "level": 0.95},
+                ("n_pass", "level")),
+        ApiSpec("exec.result.clopper_pearson_interval",
+                exec_clopper_pearson,
+                {"n_pass": 45, "level": 0.95},
+                ("n_pass", "level")),
+        ApiSpec("exec.runner.run_sharded", exec_run_sharded,
+                {"limit": 0.03, "n_shards": 2},
+                ("limit", "n_shards")),
     ]

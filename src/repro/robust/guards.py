@@ -19,6 +19,7 @@ uniform:
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Iterator, Optional
@@ -36,8 +37,9 @@ class ConvergenceReport:
     """
 
     #: ``residual`` is NaN when the loop never measured one (e.g. an
-    #: early runaway exit); finiteness audits skip it via this marker.
-    __nonfinite_ok__ = ("residual",)
+    #: early runaway exit), and ``elapsed_s`` is NaN on hand-built
+    #: reports that never ran; finiteness audits skip both.
+    __nonfinite_ok__ = ("residual", "elapsed_s")
 
     name: str
     converged: bool
@@ -46,11 +48,16 @@ class ConvergenceReport:
     residual: float = float("nan")
     tolerance: float = 0.0
     message: str = ""
+    #: Wall-clock seconds between guard construction and this report
+    #: -- the datum timeout tuning in :mod:`repro.exec` needs.
+    elapsed_s: float = float("nan")
 
     def __str__(self) -> str:
         state = "converged" if self.converged else "did NOT converge"
         text = (f"{self.name}: {state} after {self.n_iterations}/"
                 f"{self.max_iterations} iterations")
+        if self.elapsed_s == self.elapsed_s:  # not NaN
+            text += f" in {self.elapsed_s:.3g} s wall-clock"
         if self.residual == self.residual:  # not NaN
             text += f" (residual {self.residual:.3g}"
             if self.tolerance > 0:
@@ -102,6 +109,7 @@ class IterationGuard:
         self.residual = float("nan")
         self._converged = False
         self._finished = False
+        self._start = time.perf_counter()
 
     def __iter__(self) -> Iterator[int]:
         for i in range(1, self.max_iterations + 1):
@@ -140,6 +148,11 @@ class IterationGuard:
         if self.warn_on_exhaust:
             warnings.warn(str(report), ConvergenceWarning, stacklevel=3)
 
+    @property
+    def elapsed_s(self) -> float:
+        """Wall-clock seconds since the guard was constructed."""
+        return time.perf_counter() - self._start
+
     def report(self, message: str = "") -> ConvergenceReport:
         """The loop outcome as a structured report."""
         return ConvergenceReport(
@@ -150,6 +163,7 @@ class IterationGuard:
             residual=self.residual,
             tolerance=self.tolerance,
             message=message,
+            elapsed_s=self.elapsed_s,
         )
 
 
@@ -171,15 +185,29 @@ class SimulationBudget:
         self.name = name
         self.raise_on_exhaust = raise_on_exhaust
         self.spent = 0
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall-clock seconds since the budget was constructed."""
+        return time.perf_counter() - self._start
+
+    def exhaustion_message(self) -> str:
+        """The pinned-format exhaustion diagnostic.
+
+        ``"<name> exhausted: spent <spent> of <limit> after <t> s
+        wall-clock"`` -- count first (deterministic, parity-testable),
+        wall-clock last (the timeout-tuning datum).
+        """
+        return (f"{self.name} exhausted: spent {self.spent} of "
+                f"{self.limit} after {self.elapsed_s:.3g} s wall-clock")
 
     def spend(self, amount: int = 1) -> bool:
         """Consume ``amount`` units; False (or raise) once exhausted."""
         self.spent += amount
         if self.limit is not None and self.spent > self.limit:
             if self.raise_on_exhaust:
-                raise SimulationBudgetError(
-                    f"{self.name} exhausted: spent {self.spent} of "
-                    f"{self.limit}")
+                raise SimulationBudgetError(self.exhaustion_message())
             return False
         return True
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,6 +40,38 @@ from ..robust.rng import resolve_rng
 from ..robust.validate import validated
 
 ArrayLike = Union[float, np.ndarray]
+
+ShardRange = Tuple[int, int]
+
+
+def check_shard(shard: Optional[ShardRange],
+                n_total: int) -> Optional[ShardRange]:
+    """Validate a ``(start, stop)`` shard range against ``n_total``.
+
+    Shard ranges are half-open die index intervals of the *full*
+    batch; ``None`` means the whole batch.  Raises
+    :class:`ModelDomainError` on anything else, so a transposed or
+    out-of-range shard fails loudly instead of silently mis-slicing a
+    Monte Carlo population.
+    """
+    if shard is None:
+        return None
+    try:
+        start, stop = shard
+    except (TypeError, ValueError):
+        raise ModelDomainError(
+            f"shard must be a (start, stop) pair, got {shard!r}")
+    for name, value in (("start", start), ("stop", stop)):
+        if isinstance(value, bool) or \
+                not isinstance(value, (int, np.integer)):
+            raise ModelDomainError(
+                f"shard {name} must be an integer, got {value!r}")
+    start, stop = int(start), int(stop)
+    if not 0 <= start < stop <= n_total:
+        raise ModelDomainError(
+            f"shard range [{start}, {stop}) must satisfy "
+            f"0 <= start < stop <= {n_total}")
+    return start, stop
 
 
 @dataclass(frozen=True)
@@ -223,7 +255,8 @@ class MonteCarloSampler:
     @timed("variability.sample_dies_batch")
     def sample_dies_batch(self, n_dies: int, n_devices: int = 0,
                           width: Optional[ArrayLike] = None,
-                          length: Optional[ArrayLike] = None) -> DieBatch:
+                          length: Optional[ArrayLike] = None,
+                          shard: Optional[ShardRange] = None) -> DieBatch:
         """Draw ``n_dies`` dies (and optionally devices) as arrays.
 
         With ``n_devices > 0``, each die also gets that many device
@@ -238,9 +271,20 @@ class MonteCarloSampler:
         inter-die draws come from this sampler's generator in
         (vth, length, tox) per-die order, and device draws come from
         the per-die spawned child in (vth, length) per-device order.
+
+        A ``shard=(start, stop)`` range returns only dies
+        ``start..stop-1`` of the *same* ``n_dies`` population: the
+        full inter-die stream is drawn (so the sampler's generator
+        advances identically to the unsharded call) and then sliced,
+        and only the sharded dies' spawned children are consumed for
+        device draws.  Die ``start + k`` of a sharded batch is
+        bit-for-bit die ``start + k`` of the full batch, which is
+        what makes :mod:`repro.exec` shard merges exact.
         """
         n_dies = check_count("n_dies", n_dies)
         n_devices = check_count("n_devices", n_devices, minimum=0)
+        shard = check_shard(shard, n_dies)
+        start, stop = shard if shard is not None else (0, n_dies)
         if n_devices > 0 and width is None:
             raise ModelDomainError(
                 "width is required when sampling devices")
@@ -250,7 +294,7 @@ class MonteCarloSampler:
         # skipped entirely (it is by far the dominant per-die cost)
         # without changing any inter-die draw.
         children = self.rng.spawn(n_dies) if n_devices > 0 else ()
-        draws = self.rng.standard_normal((n_dies, 3))
+        draws = self.rng.standard_normal((n_dies, 3))[start:stop]
         batch = DieBatch(
             node=self.node,
             spec=self.spec,
@@ -266,9 +310,10 @@ class MonteCarloSampler:
         sigma_intra = np.broadcast_to(
             np.asarray(self.spec.intra_sigma_vth(
                 self.node, width, length), dtype=float), (n_devices,))
-        vth_offset = np.empty((n_dies, n_devices))
-        length_factor = np.empty((n_dies, n_devices))
-        for d, child in enumerate(children):
+        n_sharded = stop - start
+        vth_offset = np.empty((n_sharded, n_devices))
+        length_factor = np.empty((n_sharded, n_devices))
+        for d, child in enumerate(children[start:stop]):
             z = child.standard_normal((n_devices, 2))
             vth_offset[d] = batch.vth_global[d] + sigma_intra * z[:, 0]
             length_factor[d] = batch.length_factor_global[d] * (
@@ -280,10 +325,22 @@ class MonteCarloSampler:
 
 @dataclass(frozen=True)
 class YieldResult:
-    """Outcome of a Monte Carlo yield run."""
+    """Outcome of a Monte Carlo yield run.
+
+    ``passed`` is the per-die pass vector when the run produced one
+    (the batched path always does); the scalar loop leaves it ``None``.
+    It is the merge currency of :mod:`repro.exec`: concatenating shard
+    pass vectors in shard order reproduces the single-process vector
+    bit for bit, so counts, fractions and sigma levels merge exactly.
+    """
 
     n_samples: int
     n_pass: int
+    # compare=False: equality stays (n_samples, n_pass) -- comparing
+    # ndarray fields with == is ambiguous, and two runs with the same
+    # counts are the same yield outcome.
+    passed: Optional[np.ndarray] = field(repr=False, compare=False,
+                                         default=None)
 
     @property
     def yield_fraction(self) -> float:
@@ -324,23 +381,36 @@ def monte_carlo_yield_batch(sampler: MonteCarloSampler,
                             metric: Callable[[DieBatch], np.ndarray],
                             limit: float,
                             n_dies: int = 500,
-                            upper_is_fail: bool = True) -> YieldResult:
+                            upper_is_fail: bool = True,
+                            shard: Optional[ShardRange] = None
+                            ) -> YieldResult:
     """Batched twin of :func:`monte_carlo_yield`.
 
     ``metric`` maps a :class:`DieBatch` to a ``(n_dies,)`` array of
     performances, evaluated in one vectorized shot.  Under the same
     seed the sampled shifts are bit-for-bit those of the scalar path,
     so a vectorized metric gives the identical pass/fail vector.
+
+    With ``shard=(start, stop)`` only that slice of the ``n_dies``
+    population is sampled and evaluated (the metric sees the
+    sub-batch and must stay elementwise per die); the returned
+    ``passed`` vector is the exact slice of the full run's vector, so
+    shard results merge bit-for-bit (see :mod:`repro.exec`).
     """
     n_dies = check_count("n_dies", n_dies)
     check_finite("limit", limit)
-    batch = sampler.sample_dies_batch(n_dies)
+    shard = check_shard(shard, n_dies)
+    start, stop = shard if shard is not None else (0, n_dies)
+    batch = sampler.sample_dies_batch(n_dies, shard=shard)
     values = np.asarray(metric(batch), dtype=float)
-    if values.shape != (n_dies,):
+    if values.shape != (stop - start,):
         raise ModelDomainError(
-            f"metric must return shape ({n_dies},), got {values.shape}")
+            f"metric must return shape ({stop - start},), "
+            f"got {values.shape}")
     ok = values <= limit if upper_is_fail else values >= limit
-    return YieldResult(n_samples=n_dies, n_pass=int(np.count_nonzero(ok)))
+    return YieldResult(n_samples=stop - start,
+                       n_pass=int(np.count_nonzero(ok)),
+                       passed=np.asarray(ok, dtype=bool))
 
 
 @validated(nominal="finite", sigma="non-negative", n_sigma="non-negative")

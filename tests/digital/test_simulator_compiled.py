@@ -9,6 +9,8 @@ storm that trips the budget/oscillation guards, and on random
 hypothesis netlists.
 """
 
+import re
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -195,7 +197,12 @@ class TestGuardParity:
             sim = cls(storm, clock_period=50e-9, **kwargs)
             with pytest.raises(SimulationBudgetError) as excinfo:
                 sim.run({"a": [True, False]}, 2)
-            messages.append(str(excinfo.value))
+            # The wall-clock suffix is the one legitimately
+            # run-dependent part of the budget message; mask it and
+            # require everything else (counts, net, cycle) identical.
+            messages.append(re.sub(
+                r"after \S+ s wall-clock", "after <t> s wall-clock",
+                str(excinfo.value)))
         assert messages[0] == messages[1]
 
     def test_unlimited_budget_completes(self, node):

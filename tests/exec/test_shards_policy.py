@@ -1,0 +1,75 @@
+"""Shard planning and retry-policy semantics."""
+
+import pytest
+
+from repro.exec import RetryPolicy, Shard, plan_shards
+from repro.robust import ModelDomainError
+
+
+class TestPlanShards:
+    def test_tiles_population_exactly(self):
+        for n_total in (1, 7, 64, 100, 1001):
+            for n_shards in (1, 2, 3, n_total):
+                if n_shards > n_total:
+                    continue
+                shards = plan_shards(n_total, n_shards)
+                assert shards[0].start == 0
+                assert shards[-1].stop == n_total
+                for left, right in zip(shards, shards[1:]):
+                    assert left.stop == right.start
+
+    def test_balanced_sizes(self):
+        sizes = [s.size for s in plan_shards(10, 3)]
+        assert sizes == [4, 3, 3]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_plan_is_deterministic(self):
+        assert plan_shards(100, 7) == plan_shards(100, 7)
+
+    def test_more_shards_than_units_is_typed(self):
+        with pytest.raises(ModelDomainError):
+            plan_shards(3, 4)
+
+    def test_bad_counts_are_typed(self):
+        with pytest.raises(ModelDomainError):
+            plan_shards(0, 1)
+        with pytest.raises(ModelDomainError):
+            plan_shards(10, 0)
+
+    def test_shard_accessors(self):
+        shard = Shard(index=2, start=10, stop=15)
+        assert shard.size == 5
+        assert shard.range == (10, 15)
+
+    def test_degenerate_shard_is_typed(self):
+        with pytest.raises(ModelDomainError):
+            Shard(index=0, start=5, stop=5)
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == policy.max_retries + 1
+        assert policy.delay_before(0) == 0.0
+
+    def test_backoff_is_bounded_exponential(self):
+        policy = RetryPolicy(backoff_initial_s=0.1,
+                             backoff_factor=2.0, backoff_max_s=0.35)
+        assert policy.delay_before(1) == pytest.approx(0.1)
+        assert policy.delay_before(2) == pytest.approx(0.2)
+        assert policy.delay_before(3) == pytest.approx(0.35)
+        assert policy.delay_before(10) == pytest.approx(0.35)
+
+    def test_bad_construction_is_typed(self):
+        with pytest.raises(ModelDomainError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ModelDomainError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ModelDomainError):
+            RetryPolicy(timeout_s=float("nan"))
+        with pytest.raises(ModelDomainError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_bad_attempt_is_typed(self):
+        with pytest.raises(ModelDomainError):
+            RetryPolicy().delay_before(-1)

@@ -286,3 +286,61 @@ class TestR005VectorizationSafety:
                 return np.exp(vth / tau)
         """)
         assert report.clean
+
+
+class TestR006ShardSeedDiscipline:
+    def test_flags_unseeded_resolve_rng_in_shard_function(
+            self, tmp_path):
+        report = lint_file(tmp_path, """
+            from repro.robust.rng import resolve_rng
+
+            def sample_batch(n, shard=None):
+                rng = resolve_rng()
+                return rng.standard_normal(n)
+        """, select=["R006"])
+        assert codes(report) == ["R006"]
+        assert "sample_batch" in report.findings[0].message
+        assert "resolve_rng" in report.findings[0].message
+
+    def test_flags_spawn_seed_in_run_shard(self, tmp_path):
+        report = lint_file(tmp_path, """
+            from repro.robust.rng import spawn_seed
+
+            def run_shard(start, stop):
+                return spawn_seed()
+        """, select=["R006"])
+        assert codes(report) == ["R006"]
+        assert "spawn_seed" in report.findings[0].message
+
+    def test_allows_seeded_and_injected_rng(self, tmp_path):
+        report = lint_file(tmp_path, """
+            from repro.robust.rng import resolve_rng
+
+            def sample_batch(n, seed, rng=None, shard=None):
+                generator = resolve_rng(rng, seed=seed)
+                return generator.standard_normal(n)
+        """, select=["R006"])
+        assert report.clean
+
+    def test_allows_unseeded_rng_outside_shard_functions(
+            self, tmp_path):
+        report = lint_file(tmp_path, """
+            from repro.robust.rng import resolve_rng, spawn_seed
+
+            def sample(n):
+                return resolve_rng().standard_normal(n)
+
+            def reseed():
+                return spawn_seed()
+        """, select=["R006"])
+        assert report.clean
+
+    def test_forwarded_seed_variable_is_sanctioned(self, tmp_path):
+        report = lint_file(tmp_path, """
+            from repro.robust.rng import resolve_rng
+
+            class Sampler:
+                def run_shard(self, start, stop):
+                    return resolve_rng(self.rng).normal()
+        """, select=["R006"])
+        assert report.clean

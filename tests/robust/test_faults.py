@@ -26,6 +26,18 @@ class TestRegistry:
         names = [spec.name for spec in default_registry()]
         assert len(names) == len(set(names))
 
+    def test_exec_layer_is_registered(self):
+        """The sharded execution layer's public APIs are under the
+        fault sweep, raising the registry floor from the pre-exec 58
+        entries."""
+        names = {spec.name for spec in default_registry()}
+        assert {"exec.policy.RetryPolicy", "exec.chaos.ChaosSpec",
+                "exec.shards.plan_shards",
+                "exec.result.wilson_interval",
+                "exec.result.clopper_pearson_interval",
+                "exec.runner.run_sharded"} <= names
+        assert len(names) >= 64
+
 
 class TestSweep:
     def test_no_contract_violations(self):

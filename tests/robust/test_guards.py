@@ -1,10 +1,14 @@
 """IterationGuard / SimulationBudget semantics."""
 
+import math
+import re
+
 import pytest
 
 from repro.robust import (ConvergenceError, ConvergenceWarning,
-                          IterationGuard, ModelDomainError,
-                          SimulationBudget, SimulationBudgetError)
+                          ConvergenceReport, IterationGuard,
+                          ModelDomainError, SimulationBudget,
+                          SimulationBudgetError)
 
 
 class TestIterationGuard:
@@ -89,3 +93,56 @@ class TestSimulationBudget:
     def test_bad_limit_is_typed(self):
         with pytest.raises(ModelDomainError):
             SimulationBudget(0)
+
+
+class TestElapsedWallClock:
+    """Guard diagnostics carry elapsed wall-clock in a pinned format.
+
+    The sharded execution layer tunes its per-shard timeouts from
+    these messages, so the format is a contract: iteration/event
+    counts first, then ``... <t> s wall-clock``.
+    """
+
+    def test_iteration_guard_report_records_elapsed(self):
+        guard = IterationGuard(5, name="fp")
+        for _ in guard:
+            guard.converged(1.0)
+        report = guard.report()
+        assert report.elapsed_s >= 0.0
+        assert math.isfinite(report.elapsed_s)
+
+    def test_iteration_guard_message_format(self):
+        guard = IterationGuard(5, name="fp")
+        for _ in guard:
+            guard.converged(1.0)
+        text = str(guard.report())
+        assert re.search(
+            r"fp: did NOT converge after 5/5 iterations in "
+            r"\S+ s wall-clock", text), text
+
+    def test_handbuilt_report_omits_elapsed(self):
+        report = ConvergenceReport(name="fp", converged=True,
+                                   n_iterations=1, max_iterations=2)
+        assert report.elapsed_s != report.elapsed_s  # NaN
+        assert "wall-clock" not in str(report)
+
+    def test_budget_elapsed_property(self):
+        budget = SimulationBudget(10, name="events")
+        budget.spend(3)
+        assert budget.elapsed_s >= 0.0
+        assert math.isfinite(budget.elapsed_s)
+
+    def test_budget_message_format(self):
+        budget = SimulationBudget(3, name="event budget")
+        with pytest.raises(SimulationBudgetError) as excinfo:
+            budget.spend(4)
+        assert re.fullmatch(
+            r"event budget exhausted: spent 4 of 3 after \S+ s "
+            r"wall-clock", str(excinfo.value)), str(excinfo.value)
+
+    def test_exhaustion_message_helper_matches_raise(self):
+        budget = SimulationBudget(2, name="b", raise_on_exhaust=False)
+        budget.spend(5)
+        text = budget.exhaustion_message()
+        assert text.startswith("b exhausted: spent 5 of 2 after ")
+        assert text.endswith(" s wall-clock")

@@ -152,3 +152,77 @@ class TestSocNoiseCommand:
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "budget" in err
+
+
+class TestYieldCommand:
+    """The sharded executor behind ``python -m repro yield``: clean
+    tables on success, honest degradation, traceback-free failures."""
+
+    def test_sharded_run_prints_bounds(self, capsys):
+        assert main(["yield", "--dies", "40", "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        for column in ("node", "metric", "yield_fraction",
+                       "wilson_low", "wilson_high", "exact_low",
+                       "exact_high"):
+            assert column in out
+
+    def test_shard_count_does_not_change_the_table(self, capsys):
+        from repro.perf import clear_caches
+        clear_caches()
+        assert main(["yield", "--dies", "40", "--shards", "1"]) == 0
+        one = capsys.readouterr().out
+        clear_caches()
+        assert main(["yield", "--dies", "40", "--shards", "5"]) == 0
+        five = capsys.readouterr().out
+        assert one == five
+
+    def test_partial_result_warns_but_succeeds(self, capsys):
+        # Chaos seed 0 at crash rate 0.5 with no retries fails shard
+        # 2 of 4 and spares the rest: the degraded path, pinned.
+        assert main(["yield", "--dies", "40", "--shards", "4",
+                     "--retries", "0", "--chaos-seed", "0",
+                     "--chaos-crash", "0.5", "--chaos-hang", "0",
+                     "--chaos-poison", "0"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err.startswith("warning: partial result:")
+        assert "30/40" in captured.err
+        assert "wilson_low" in captured.out
+
+    def test_strict_partial_exits_nonzero_subprocess(self):
+        result = run_cli("--strict", "yield", "--dies", "40",
+                         "--shards", "4", "--retries", "0",
+                         "--chaos-seed", "0", "--chaos-crash", "0.5",
+                         "--chaos-hang", "0", "--chaos-poison", "0")
+        assert result.returncode == 1
+        assert result.stderr.startswith("error:")
+        assert "partial result: 30/40" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_all_shards_failing_is_one_liner_subprocess(self):
+        result = run_cli("yield", "--dies", "40", "--shards", "4",
+                         "--retries", "0", "--chaos-seed", "1",
+                         "--chaos-crash", "1", "--chaos-hang", "0",
+                         "--chaos-poison", "0")
+        assert result.returncode == 1
+        assert result.stderr.startswith("error:")
+        assert "no shard completed" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_unknown_metric_is_one_liner_subprocess(self):
+        result = run_cli("yield", "--metric", "sigma-vt")
+        assert result.returncode == 1
+        assert result.stderr.startswith("error:")
+        assert "unknown yield metric" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_checkpoint_resume_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "ck.json")
+        from repro.perf import clear_caches
+        clear_caches()
+        assert main(["yield", "--dies", "40", "--shards", "4",
+                     "--checkpoint", path]) == 0
+        first = capsys.readouterr().out
+        clear_caches()
+        assert main(["yield", "--dies", "40", "--shards", "4",
+                     "--checkpoint", path, "--resume"]) == 0
+        assert capsys.readouterr().out == first
