@@ -8,9 +8,28 @@ DESIGN.md.  Timings come from pytest-benchmark.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Dict, List, Sequence
 
 import pytest
+
+#: Machine-readable speedup summary emitted by the backend benchmarks
+#: (one file per PR, merged key-by-key so each benchmark owns its entry).
+BENCH_FILE = Path(__file__).resolve().parents[1] / "BENCH_9.json"
+
+
+def record_bench(key: str, payload: Dict) -> None:
+    """Merge one benchmark's speedup summary into ``BENCH_9.json``."""
+    data = {}
+    if BENCH_FILE.exists():
+        try:
+            data = json.loads(BENCH_FILE.read_text())
+        except (json.JSONDecodeError, OSError):
+            data = {}
+    data[key] = payload
+    BENCH_FILE.write_text(json.dumps(data, indent=2, sort_keys=True)
+                          + "\n")
 
 
 def print_table(title: str, rows: Sequence[Dict], columns=None) -> None:

@@ -24,6 +24,7 @@ paper.
 
 from . import (
     analog,
+    backends,
     core,
     devices,
     digital,
@@ -42,7 +43,7 @@ from . import (
 __version__ = "1.0.0"
 
 __all__ = [
-    "analog", "core", "devices", "digital", "interconnect", "memory",
+    "analog", "backends", "core", "devices", "digital", "interconnect", "memory",
     "perf", "robust", "signal_integrity", "substrate", "synthesis",
     "technology", "thermal", "variability", "__version__",
 ]

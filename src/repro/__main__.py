@@ -249,6 +249,51 @@ def cmd_soc_noise(args) -> int:
     return 0
 
 
+def cmd_backends(_args) -> int:
+    from .backends import (available_backends, equivalence_contract,
+                           get_backend, registered_engines)
+    from .robust import ReproError
+    print("Evaluation engines (oracle/vectorized protocol):")
+    for engine in registered_engines():
+        names = available_backends(engine)
+        try:
+            contract = equivalence_contract(engine)
+            agreement = "bit-for-bit" if contract.bitwise \
+                else f"rtol<={contract.rtol:g}"
+        except ReproError:
+            agreement = "no contract"
+        print(f"  {engine}  [{', '.join(names)}]  ({agreement})")
+        for name in names:
+            backend = get_backend(engine, name)
+            print(f"    {name:>10}: {backend.description}")
+    return 0
+
+
+def cmd_electrothermal(args) -> int:
+    import numpy as np
+    from .robust import RoadmapDataError
+    from .technology import all_nodes, get_node
+    from .thermal import electrothermal_rth_sweep
+    if args.nodes:
+        try:
+            nodes = [get_node(name)
+                     for name in args.nodes.split(",")]
+        except RoadmapDataError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    else:
+        nodes = all_nodes()
+    rth_values = np.geomspace(args.rth_min, args.rth_max,
+                              args.rth_points)
+    rows = electrothermal_rth_sweep(
+        nodes, rth_values, n_gates=args.gates,
+        frequency=args.frequency, backend=args.backend)
+    _print_table(rows, columns=["node", "rth_K_per_W", "junction_K",
+                                "leakage_W", "feedback_amplification",
+                                "converged", "runaway", "n_iterations"])
+    return 0
+
+
 def cmd_figures(_args) -> int:
     index = [
         ("fig01", "subthreshold I(V_GS, V_DS) with DIBL (eq. 1)"),
@@ -401,6 +446,31 @@ def build_parser() -> argparse.ArgumentParser:
                             help="events per streamed SWAN chunk")
     _add_exec_args(soc_parser)
     soc_parser.set_defaults(func=cmd_soc_noise)
+
+    backends_parser = sub.add_parser(
+        "backends",
+        help="list the registered evaluation engines, their "
+             "oracle/vectorized backends and equivalence contracts")
+    backends_parser.set_defaults(func=cmd_backends)
+
+    et_parser = sub.add_parser(
+        "electrothermal",
+        help="junction temperature / runaway across a nodes x Rth "
+             "grid (batched electrothermal solver)")
+    et_parser.add_argument("--nodes", default=None,
+                           help="comma-separated, e.g. 130nm,65nm")
+    et_parser.add_argument("--rth-min", type=float, default=1.0,
+                           help="smallest package resistance [K/W]")
+    et_parser.add_argument("--rth-max", type=float, default=100.0,
+                           help="largest package resistance [K/W]")
+    et_parser.add_argument("--rth-points", type=int, default=5)
+    et_parser.add_argument("--gates", type=int, default=1_000_000)
+    et_parser.add_argument("--frequency", type=float, default=1e9)
+    et_parser.add_argument("--backend",
+                           choices=("oracle", "vectorized"),
+                           default=None,
+                           help="evaluation path (default: vectorized)")
+    et_parser.set_defaults(func=cmd_electrothermal)
 
     sub.add_parser("figures", help="index of figure benchmarks"
                    ).set_defaults(func=cmd_figures)

@@ -19,13 +19,40 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Mapping, Optional, Union
 
-from ..core.constants import kt_energy, ELECTRON_CHARGE
+import numpy as np
+
+from ..core.constants import (
+    kt_energy, ELECTRON_CHARGE, EPSILON_0, EPSILON_SIO2)
 from ..technology.node import TechnologyNode
 from ..devices.mosfet import DeviceType, Mosfet
 from ..variability.pelgrom import sigma_delta_vth
 from ..robust.errors import ModelDomainError
+from ..robust.validate import check_finite
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _elementwise(fn: Callable[..., float], *arrays: ArrayLike) -> np.ndarray:
+    """Apply a scalar function per element of broadcast arrays.
+
+    The batched evaluators keep all additions, multiplications,
+    divisions and square roots vectorized (those are IEEE-exact and
+    bitwise identical to their scalar counterparts) but numpy's
+    ``log10`` / ``arctan`` / ``power`` occasionally differ from libm
+    by one ulp.  Computing those few operations per element through
+    Python's ``math`` keeps the vectorized twin bit-for-bit equal to
+    the scalar oracle, which is what makes fixed-seed synthesis
+    return the identical best design on either backend.  Populations
+    are a few hundred candidates, so the Python loop is microseconds.
+    """
+    broadcast = np.broadcast_arrays(
+        *[np.asarray(a, dtype=float) for a in arrays])
+    shape = broadcast[0].shape
+    columns = [b.ravel().tolist() for b in broadcast]
+    return np.array([fn(*args) for args in zip(*columns)],
+                    dtype=float).reshape(shape)
 
 
 @dataclass
@@ -159,6 +186,150 @@ class SingleStageOta:
             power=power,
             area=area,
             swing=max(swing, 0.0),
+        )
+
+    def evaluate_batch(self, input_width: ArrayLike,
+                       input_length: ArrayLike,
+                       load_width: ArrayLike, load_length: ArrayLike,
+                       tail_current: ArrayLike, *,
+                       node_overrides: Optional[
+                           Mapping[str, ArrayLike]] = None,
+                       invalid: str = "raise") -> OtaPerformance:
+        """Array-valued twin of :meth:`evaluate` (vectorized backend).
+
+        Evaluates a whole population of sizings in one pass: the five
+        design arrays broadcast together and the returned
+        :class:`OtaPerformance` holds same-shape ndarrays in every
+        field.  Bit-for-bit equal to looping :meth:`evaluate` over
+        the elements -- the equivalence contract of the
+        ``synthesis.ota`` engine (see :mod:`repro.backends`).
+
+        ``node_overrides`` optionally varies the technology per
+        element (keys ``vth`` / ``feature_size`` / ``tox``), the
+        inter-die shifts Monte Carlo yield analysis applies through
+        ``TechnologyNode.with_overrides`` on the scalar path.
+
+        ``invalid`` selects what happens to elements a scalar
+        ``evaluate`` call would reject with a typed error:
+        ``"raise"`` raises :class:`ModelDomainError` (the strict
+        twin), ``"nan"`` fills their output fields with NaN so
+        population optimizers can penalize them per candidate.
+        Non-finite inputs always raise.
+        """
+        if invalid not in ("raise", "nan"):
+            raise ModelDomainError(
+                f"invalid must be 'raise' or 'nan', got {invalid!r}")
+        node = self.node
+        overrides = dict(node_overrides or {})
+        unknown = set(overrides) - {"vth", "feature_size", "tox"}
+        if unknown:
+            raise ModelDomainError(
+                f"unsupported node_overrides {sorted(unknown)}; "
+                "supported: vth, feature_size, tox")
+        for name, value in overrides.items():
+            check_finite(f"node_overrides[{name!r}]", value)
+        arrays = [check_finite(name, value) for name, value in (
+            ("input_width", input_width), ("input_length", input_length),
+            ("load_width", load_width), ("load_length", load_length),
+            ("tail_current", tail_current))]
+        (iw, il, lw, ll, tail, vth, feature_size, tox) = \
+            np.broadcast_arrays(
+                *[np.asarray(a, dtype=float) for a in arrays],
+                np.asarray(overrides.get("vth", node.vth), dtype=float),
+                np.asarray(overrides.get("feature_size",
+                                         node.feature_size), dtype=float),
+                np.asarray(overrides.get("tox", node.tox), dtype=float))
+        shape = iw.shape
+
+        # Same rejection order as the scalar path: the shifted-node
+        # construction (``with_overrides`` validation) precedes
+        # ``OtaDesign.validate``.
+        bad = np.zeros(shape, dtype=bool)
+
+        def reject(mask: np.ndarray, message: str) -> None:
+            if not np.any(mask):
+                return
+            if invalid == "raise":
+                raise ModelDomainError(message)
+            bad[...] |= mask
+
+        for name, values in (("feature_size", feature_size),
+                             ("vth", vth), ("tox", tox)):
+            reject(~(values > 0),
+                   f"{name} must be a positive finite number")
+        reject(vth >= node.vdd,
+               f"vth must be below vdd ({node.vdd} V)")
+        for name, widths in (("input_width", iw), ("input_length", il),
+                             ("load_width", lw), ("load_length", ll)):
+            reject(widths < feature_size,
+                   f"{name} below feature size")
+        reject(tail <= 0, "tail_current must be positive")
+        if np.any(bad):
+            # Evaluate rejected elements on benign dummies, then
+            # overwrite with NaN -- keeps the vector math warning-free.
+            iw, il, lw, ll = (np.where(bad, 1e-6, a)
+                              for a in (iw, il, lw, ll))
+            tail = np.where(bad, 1e-6, tail)
+            tox = np.where(bad, node.tox, tox)
+
+        from ..core.constants import thermal_voltage
+        phi_t = thermal_voltage(node.temperature)
+        cox = EPSILON_0 * EPSILON_SIO2 / tox if "tox" in overrides \
+            else node.cox
+        gm_cap = 1.0 / (node.subthreshold_n * phi_t)
+        half_current = tail / 2.0
+        beta_in = node.mobility_n * cox * iw / il
+        vov_in = np.sqrt(np.maximum(2.0 * half_current / beta_in, 1e-12))
+        vov_in = np.maximum(vov_in, 2.0 * node.subthreshold_n * phi_t)
+        gm_in = np.minimum(2.0 * half_current / vov_in,
+                           gm_cap * half_current)
+        beta_load = node.mobility_p * cox * lw / ll
+        vov_load = np.sqrt(np.maximum(2.0 * half_current / beta_load,
+                                      1e-12))
+        vov_load = np.maximum(vov_load, 2.0 * node.subthreshold_n * phi_t)
+        gm_load = np.minimum(2.0 * half_current / vov_load,
+                             gm_cap * half_current)
+        early_per_length = 1.0e7  # V/m
+        gds = half_current / (early_per_length * il) \
+            + half_current / (early_per_length * ll)
+
+        gain = gm_in / np.maximum(gds, 1e-15)
+        gbw = gm_in / (2.0 * math.pi * self.load_capacitance)
+        mirror_cap = cox * lw * ll * 2.0
+        pole2 = gm_load / (2.0 * math.pi * np.maximum(mirror_cap, 1e-18))
+        phase_margin = 90.0 - _elementwise(
+            lambda r: math.degrees(math.atan(r)), gbw / pole2)
+        slew = tail / self.load_capacitance
+        noise_psd = 8.0 * kt_energy(node.temperature) / gm_in
+        noise_rms = np.sqrt(noise_psd * math.pi / 2.0 * gbw)
+        avt_sq = node.avt ** 2
+        sigma_in = np.sqrt(avt_sq / (iw * il) + 0.0)
+        sigma_load = np.sqrt(avt_sq / (lw * ll) + 0.0)
+        offset = _elementwise(
+            lambda a, b: math.sqrt(a ** 2 + b ** 2),
+            sigma_in, sigma_load * gm_load / gm_in)
+        power = node.vdd * tail * 1.25
+        area = 2.0 * (iw * il + lw * ll) * 3.0
+        swing = node.vdd - vov_in - 2.0 * vov_load
+        gain_db = _elementwise(lambda g: 20.0 * math.log10(g),
+                               np.maximum(gain, 1e-12))
+
+        def field_out(values: np.ndarray) -> np.ndarray:
+            values = np.broadcast_to(np.asarray(values, float),
+                                     shape).copy()
+            values[bad] = float("nan")
+            return values
+
+        return OtaPerformance(
+            gain_db=field_out(gain_db),
+            gbw_hz=field_out(gbw),
+            phase_margin_deg=field_out(phase_margin),
+            slew_rate=field_out(slew),
+            input_noise_rms=field_out(noise_rms),
+            offset_sigma=field_out(offset),
+            power=field_out(power),
+            area=field_out(area),
+            swing=field_out(np.maximum(swing, 0.0)),
         )
 
 
@@ -311,6 +482,89 @@ class DetectorFrontend:
             enc_electrons=enc_coulomb / ELECTRON_CHARGE,
             power=power,
             area=area,
+        )
+
+    def evaluate_batch(self, input_width: ArrayLike,
+                       input_length: ArrayLike,
+                       feedback_capacitance: ArrayLike,
+                       shaper_time_constant: ArrayLike,
+                       drain_current: ArrayLike, *,
+                       invalid: str = "raise") -> FrontendPerformance:
+        """Array-valued twin of :meth:`evaluate` (vectorized backend).
+
+        Broadcasts the five design arrays and returns a
+        :class:`FrontendPerformance` of same-shape ndarrays,
+        bit-for-bit equal to looping :meth:`evaluate` over the
+        elements (the ``synthesis.frontend`` equivalence contract).
+        ``invalid="nan"`` NaN-fills elements the scalar path would
+        reject instead of raising :class:`ModelDomainError`.
+        """
+        if invalid not in ("raise", "nan"):
+            raise ModelDomainError(
+                f"invalid must be 'raise' or 'nan', got {invalid!r}")
+        node = self.node
+        arrays = [check_finite(name, value) for name, value in (
+            ("input_width", input_width), ("input_length", input_length),
+            ("feedback_capacitance", feedback_capacitance),
+            ("shaper_time_constant", shaper_time_constant),
+            ("drain_current", drain_current))]
+        iw, il, cfb, tau, current = np.broadcast_arrays(
+            *[np.asarray(a, dtype=float) for a in arrays])
+        shape = iw.shape
+
+        bad = np.zeros(shape, dtype=bool)
+
+        def reject(mask: np.ndarray, message: str) -> None:
+            if not np.any(mask):
+                return
+            if invalid == "raise":
+                raise ModelDomainError(message)
+            bad[...] |= mask
+
+        reject((iw < node.feature_size) | (il < node.feature_size),
+               "input device below feature size")
+        reject(cfb <= 0, "feedback_capacitance must be positive")
+        reject(tau <= 0, "shaper_time_constant must be positive")
+        reject(current <= 0, "drain_current must be positive")
+        if np.any(bad):
+            iw, il = (np.where(bad, 1e-6, a) for a in (iw, il))
+            cfb = np.where(bad, 1e-12, cfb)
+            tau = np.where(bad, 1e-6, tau)
+            current = np.where(bad, 1e-6, current)
+
+        from ..core.constants import thermal_voltage
+        phi_t = thermal_voltage(node.temperature)
+        beta = node.mobility_n * node.cox * iw / il
+        vov = np.maximum(
+            np.sqrt(np.maximum(2.0 * current / beta, 1e-12)),
+            2.0 * node.subthreshold_n * phi_t)
+        gm = np.minimum(2.0 * current / vov,
+                        current / (node.subthreshold_n * phi_t))
+        c_gate = node.cox * iw * il
+        c_total = self.detector_capacitance + c_gate + cfb
+        kt = kt_energy(node.temperature)
+        c_total_sq = _elementwise(lambda c: c ** 2, c_total)
+        series = (c_total_sq * 4.0 * kt * (2.0 / 3.0) / gm
+                  * self.FORM_FACTOR_SERIES / tau)
+        parallel = (2.0 * ELECTRON_CHARGE * self.detector_leakage
+                    * self.FORM_FACTOR_PARALLEL * tau)
+        enc_coulomb = np.sqrt(series + parallel)
+        charge_gain = 1.0 / cfb * math.exp(-1.0)
+        power = node.vdd * current * 2.0
+        area = iw * il * 4.0 + cfb / (1e-3)
+
+        def field_out(values: np.ndarray) -> np.ndarray:
+            values = np.broadcast_to(np.asarray(values, float),
+                                     shape).copy()
+            values[bad] = float("nan")
+            return values
+
+        return FrontendPerformance(
+            charge_gain=field_out(charge_gain),
+            peaking_time=field_out(tau),
+            enc_electrons=field_out(enc_coulomb / ELECTRON_CHARGE),
+            power=field_out(power),
+            area=field_out(area),
         )
 
     def optimal_input_capacitance_ratio(self) -> float:

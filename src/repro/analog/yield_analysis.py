@@ -22,6 +22,8 @@ from ..technology.node import TechnologyNode
 from ..variability.pelgrom import sigma_delta_beta, sigma_delta_vth
 from ..variability.statistical import MonteCarloSampler, VariationSpec
 from .circuits import OtaDesign, OtaPerformance, SingleStageOta
+from ..backends.protocol import resolve_backend, register_backend
+from ..backends.contracts import register_contract
 from ..robust.rng import resolve_rng
 from ..robust.errors import ModelDomainError
 
@@ -91,33 +93,11 @@ class OtaYieldAnalyzer:
                   + 0.1 * sigma_beta * self.rng.standard_normal())
         return dataclasses.replace(nominal, offset_sigma=abs(offset))
 
-    def run(self, spec: Dict[str, float],
-            n_samples: int = 300) -> YieldReport:
-        """MC yield against ``spec``.
-
-        ``spec`` keys: ``gain_db``/``gbw_hz``/``phase_margin_deg``/
-        ``slew_rate``/``swing`` are minima; ``power``/``offset_sigma``
-        maxima (same convention as :meth:`OtaPerformance.meets`).
-
-        The process sampling and pass/fail bookkeeping run on the
-        batched engine (:meth:`MonteCarloSampler.sample_dies_batch`);
-        only the analytic per-die performance evaluation remains a
-        loop.  Under a fixed seed the drawn shifts and offsets are
-        bit-for-bit those of repeated :meth:`sample_performance`
-        calls.
-        """
-        if n_samples < 1:
-            raise ModelDomainError("n_samples must be positive")
-        minima = ("gain_db", "gbw_hz", "phase_margin_deg",
-                  "slew_rate", "swing")
-        batch = self._sampler.sample_dies_batch(n_samples)
-        sigma_in, sigma_beta = self._offset_sigmas()
-        draws = self.rng.standard_normal((n_samples, 2))
-        offsets = np.abs(sigma_in * draws[:, 0]
-                         + 0.1 * sigma_beta * draws[:, 1])
-        # Residual scalar part: the closed-form engine per die.
-        values = np.empty((n_samples, len(spec)))
-        keys = list(spec)
+    def _performance_matrix_oracle(self, batch, offsets: np.ndarray,
+                                   keys: List[str]) -> np.ndarray:
+        """Scalar oracle: one ``with_overrides`` + evaluate per die."""
+        n_samples = len(offsets)
+        values = np.empty((n_samples, len(keys)))
         for i in range(n_samples):
             perf = self._evaluate_shifted(
                 float(batch.vth_global[i]),
@@ -127,6 +107,70 @@ class OtaYieldAnalyzer:
                                        offset_sigma=float(offsets[i]))
             for k, key in enumerate(keys):
                 values[i, k] = getattr(perf, key)
+        return values
+
+    def _performance_matrix_batch(self, batch, offsets: np.ndarray,
+                                  keys: List[str]) -> np.ndarray:
+        """Vectorized twin: all dies in one ``evaluate_batch`` call.
+
+        The per-die node overrides are the same elementwise
+        expressions the oracle feeds ``with_overrides``, so every
+        column is bit-for-bit the oracle's (dies whose shift pushes
+        the node out of its domain come back NaN and count as spec
+        failures instead of aborting the whole run).
+        """
+        design = self.design
+        perf = self.engine.evaluate_batch(
+            design.input_width, design.input_length,
+            design.load_width, design.load_length,
+            design.tail_current,
+            node_overrides={
+                "vth": self.node.vth + batch.vth_global,
+                "feature_size": (self.node.feature_size
+                                 * batch.length_factor_global),
+                "tox": self.node.tox * batch.tox_factor_global,
+            },
+            invalid="nan")
+        n_samples = len(offsets)
+        values = np.empty((n_samples, len(keys)))
+        for k, key in enumerate(keys):
+            if key == "offset_sigma":
+                values[:, k] = offsets
+            else:
+                values[:, k] = np.asarray(getattr(perf, key),
+                                          dtype=float)
+        return values
+
+    def run(self, spec: Dict[str, float],
+            n_samples: int = 300,
+            backend: Optional[str] = None) -> YieldReport:
+        """MC yield against ``spec``.
+
+        ``spec`` keys: ``gain_db``/``gbw_hz``/``phase_margin_deg``/
+        ``slew_rate``/``swing`` are minima; ``power``/``offset_sigma``
+        maxima (same convention as :meth:`OtaPerformance.meets`).
+
+        ``backend`` selects the ``"analog.ota_yield"`` evaluation path:
+        ``"vectorized"`` (default) evaluates every die in one
+        :meth:`SingleStageOta.evaluate_batch` call with per-die node
+        overrides; ``"oracle"`` is the original per-die scalar loop.
+        Under a fixed seed both return bit-for-bit identical reports.
+        """
+        if n_samples < 1:
+            raise ModelDomainError("n_samples must be positive")
+        resolved = resolve_backend("analog.ota_yield", backend)
+        minima = ("gain_db", "gbw_hz", "phase_margin_deg",
+                  "slew_rate", "swing")
+        batch = self._sampler.sample_dies_batch(n_samples)
+        sigma_in, sigma_beta = self._offset_sigmas()
+        draws = self.rng.standard_normal((n_samples, 2))
+        offsets = np.abs(sigma_in * draws[:, 0]
+                         + 0.1 * sigma_beta * draws[:, 1])
+        keys = list(spec)
+        if resolved.name == "vectorized":
+            values = self._performance_matrix_batch(batch, offsets, keys)
+        else:
+            values = self._performance_matrix_oracle(batch, offsets, keys)
         bounds = np.array([spec[key] for key in keys])
         is_min = np.array([key in minima for key in keys])
         ok = np.where(is_min, values >= bounds, values <= bounds)
@@ -196,3 +240,17 @@ def area_for_offset_yield(node: TechnologyNode, offset_limit: float,
         raise ModelDomainError("offset_limit and sigma_level must be positive")
     sigma_needed = offset_limit / sigma_level
     return (node.avt / sigma_needed) ** 2
+
+
+register_backend(
+    "analog.ota_yield", "oracle",
+    OtaYieldAnalyzer._performance_matrix_oracle,
+    "per-die scalar loop: with_overrides + SingleStageOta.evaluate")
+register_backend(
+    "analog.ota_yield", "vectorized",
+    OtaYieldAnalyzer._performance_matrix_batch,
+    "all dies in one SingleStageOta.evaluate_batch with node overrides")
+register_contract(
+    "analog.ota_yield", 0.0,
+    "Monte Carlo yield reports are bit-for-bit identical: the batched "
+    "evaluator shares every closed-form float with the scalar oracle")

@@ -1,0 +1,31 @@
+"""Pluggable evaluation backends: the oracle/vectorized protocol.
+
+See :mod:`repro.backends.protocol` for the registry and
+:mod:`repro.backends.contracts` for the equivalence contracts.
+"""
+
+from .protocol import (
+    BACKEND_NAMES,
+    EvaluationBackend,
+    available_backends,
+    get_backend,
+    load_builtin_engines,
+    register_backend,
+    registered_engines,
+    resolve_backend,
+)
+from .contracts import (
+    EquivalenceContract,
+    assert_backends_agree,
+    contracted_engines,
+    equivalence_contract,
+    register_contract,
+)
+
+__all__ = [
+    "BACKEND_NAMES", "EvaluationBackend", "available_backends",
+    "get_backend", "load_builtin_engines", "register_backend",
+    "registered_engines", "resolve_backend",
+    "EquivalenceContract", "assert_backends_agree",
+    "contracted_engines", "equivalence_contract", "register_contract",
+]

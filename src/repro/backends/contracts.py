@@ -1,0 +1,119 @@
+"""Oracle-equivalence contracts for registered evaluation engines.
+
+Every engine in :mod:`repro.backends.protocol` promises a specific
+agreement between its oracle and vectorized paths under identical
+(fixed-seed) inputs:
+
+* ``rtol == 0.0`` -- **bit-for-bit**: the vectorized path evaluates
+  the same closed-form expressions in the same order, computing the
+  few libm-divergent operations (``log10``, ``atan``, ``exp``,
+  ``x ** 2``) per element through Python's ``math`` so every float
+  matches the scalar path exactly.  Synthesis evaluators hold this
+  contract, which is what makes fixed-seed differential evolution
+  return the *identical* best design on either backend.
+* ``rtol > 0`` -- **iterative-solver tolerance**: fixed-point loops
+  (electrothermal) accumulate one-ulp libm differences per iteration,
+  so the contract is a small relative tolerance (<= 1e-9) on every
+  numeric leaf plus exact agreement on discrete outcomes (convergence
+  flags, iteration counts, report messages).
+
+The contract objects are registered next to the backends and consumed
+by the hypothesis equivalence suite (``tests/backends``), so adding
+an engine without stating its contract is a test failure, not a
+silent gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..robust.errors import BackendEquivalenceError, ModelDomainError
+from ..robust.validate import iter_numeric_leaves
+
+
+@dataclass(frozen=True)
+class EquivalenceContract:
+    """How closely an engine's oracle and vectorized paths must agree."""
+
+    engine: str
+    #: 0.0 means bit-for-bit; > 0 is the relative tolerance for
+    #: iterative solvers.
+    rtol: float
+    description: str = ""
+
+    @property
+    def bitwise(self) -> bool:
+        """True when the contract is exact float equality."""
+        return self.rtol == 0.0
+
+
+_CONTRACTS: Dict[str, EquivalenceContract] = {}
+
+
+def register_contract(engine: str, rtol: float,
+                      description: str = "") -> EquivalenceContract:
+    """Declare the equivalence contract of ``engine``."""
+    if not (rtol >= 0.0 and np.isfinite(rtol)):
+        raise ModelDomainError(
+            f"contract rtol must be finite and >= 0, got {rtol!r}")
+    contract = EquivalenceContract(engine=engine, rtol=float(rtol),
+                                   description=description)
+    _CONTRACTS[engine] = contract
+    return contract
+
+
+def equivalence_contract(engine: str) -> EquivalenceContract:
+    """The registered contract of ``engine`` (typed error on miss)."""
+    from .protocol import load_builtin_engines
+    load_builtin_engines()
+    if engine not in _CONTRACTS:
+        raise ModelDomainError(
+            f"engine {engine!r} has no equivalence contract; declared: "
+            f"{', '.join(sorted(_CONTRACTS)) or '(none)'}")
+    return _CONTRACTS[engine]
+
+
+def contracted_engines() -> List[str]:
+    """Sorted engines with a declared equivalence contract."""
+    from .protocol import load_builtin_engines
+    load_builtin_engines()
+    return sorted(_CONTRACTS)
+
+
+def assert_backends_agree(oracle_result: object, vectorized_result: object,
+                          contract: EquivalenceContract) -> None:
+    """Assert two backend results agree per ``contract``.
+
+    Walks every numeric leaf (dataclasses, mappings, sequences,
+    arrays) of both results in parallel; a bitwise contract uses exact
+    array equality (NaNs must match positionally), a tolerance
+    contract uses ``rtol`` with equal-nan semantics.  Raises
+    a typed :class:`BackendEquivalenceError` (an ``AssertionError``
+    subclass) naming the engine on divergence, so test
+    failures identify the broken engine directly.
+    """
+    oracle_leaves = [np.asarray(leaf, dtype=float).ravel()
+                     for leaf in iter_numeric_leaves(oracle_result)]
+    vector_leaves = [np.asarray(leaf, dtype=float).ravel()
+                     for leaf in iter_numeric_leaves(vectorized_result)]
+    if len(oracle_leaves) != len(vector_leaves):
+        raise BackendEquivalenceError(
+            f"{contract.engine}: backend results have different shapes "
+            f"({len(oracle_leaves)} vs {len(vector_leaves)} numeric "
+            f"leaves)")
+    for index, (a, b) in enumerate(zip(oracle_leaves, vector_leaves)):
+        if contract.bitwise:
+            if not np.array_equal(a, b, equal_nan=True):
+                raise BackendEquivalenceError(
+                    f"{contract.engine}: bit-for-bit contract violated "
+                    f"at numeric leaf {index}: {a!r} != {b!r}")
+        else:
+            if not np.allclose(a, b, rtol=contract.rtol, atol=0.0,
+                               equal_nan=True):
+                raise BackendEquivalenceError(
+                    f"{contract.engine}: rtol={contract.rtol:g} "
+                    f"contract violated at numeric leaf {index}: "
+                    f"{a!r} vs {b!r}")

@@ -1,0 +1,128 @@
+"""The evaluation-backend protocol: one engine, two interchangeable paths.
+
+The package's performance architecture (docs/architecture.md) keeps
+every batched fast path paired with the scalar implementation it was
+lowered from -- the *oracle* -- and pins their agreement in tier-1
+tests.  This module makes that pairing a first-class, discoverable
+object instead of a per-module convention:
+
+* an **engine** is a named evaluation problem ("synthesis.ota",
+  "thermal.electrothermal", ...);
+* a **backend** is one implementation path of that engine, either
+  ``"oracle"`` (the scalar reference, one candidate per call) or
+  ``"vectorized"`` (the numpy twin, a whole population per call);
+* the **registry** maps ``engine -> {backend name -> descriptor}`` so
+  callers, the CLI (``python -m repro backends``) and the R007 lint
+  rule can enumerate which paths exist.
+
+Public entry points take a ``backend=`` kwarg resolved through
+:func:`resolve_backend`; ``None`` selects the engine's default
+(vectorized when available).  Every engine also carries an
+equivalence contract (:mod:`repro.backends.contracts`) stating how
+closely the two paths must agree.
+
+Registrations use literal engine/backend strings (e.g.
+``register_backend("synthesis.ota", "oracle", ...)``) so the
+backend-conformance lint rule can verify statically that every
+registered engine exposes both paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..robust.errors import ModelDomainError
+
+#: The two canonical backend names of the oracle/vectorized protocol.
+BACKEND_NAMES: Tuple[str, ...] = ("oracle", "vectorized")
+
+
+@dataclass(frozen=True)
+class EvaluationBackend:
+    """One implementation path of a registered evaluation engine.
+
+    ``call`` is the canonical callable implementing the path -- the
+    scalar entry point for ``"oracle"``, its array-valued twin for
+    ``"vectorized"``.  For method-based engines it is the unbound
+    method; dispatch then happens inside the owning class, and the
+    registry entry documents which callable realizes the path.
+    """
+
+    engine: str
+    name: str
+    call: Callable
+    description: str = ""
+
+
+_REGISTRY: Dict[str, Dict[str, EvaluationBackend]] = {}
+
+
+def register_backend(engine: str, name: str, call: Callable,
+                     description: str = "") -> EvaluationBackend:
+    """Register (or re-register) one backend of ``engine``.
+
+    Idempotent by (engine, name): re-importing an engine module simply
+    replaces the descriptor, so test reloads stay harmless.
+    """
+    if name not in BACKEND_NAMES:
+        raise ModelDomainError(
+            f"backend name must be one of {BACKEND_NAMES}, got {name!r}")
+    backend = EvaluationBackend(engine=engine, name=name, call=call,
+                                description=description)
+    _REGISTRY.setdefault(engine, {})[name] = backend
+    return backend
+
+
+def registered_engines() -> List[str]:
+    """Sorted names of every registered engine."""
+    load_builtin_engines()
+    return sorted(_REGISTRY)
+
+
+def available_backends(engine: str) -> Tuple[str, ...]:
+    """The backend names registered for ``engine`` (oracle first)."""
+    load_builtin_engines()
+    if engine not in _REGISTRY:
+        raise ModelDomainError(
+            f"unknown evaluation engine {engine!r}; registered engines: "
+            f"{', '.join(sorted(_REGISTRY)) or '(none)'}")
+    names = _REGISTRY[engine]
+    return tuple(name for name in BACKEND_NAMES if name in names)
+
+
+def get_backend(engine: str, name: str) -> EvaluationBackend:
+    """Look up one backend descriptor, with a typed error on miss."""
+    backends = {b: _REGISTRY[engine][b] for b in available_backends(engine)}
+    if name not in backends:
+        raise ModelDomainError(
+            f"engine {engine!r} has no backend {name!r}; available: "
+            f"{', '.join(backends)}")
+    return backends[name]
+
+
+def resolve_backend(engine: str, backend: Optional[str],
+                    default: str = "vectorized") -> EvaluationBackend:
+    """Resolve a public API's ``backend=`` kwarg to a descriptor.
+
+    ``None`` selects ``default`` when that path is registered, falling
+    back to the oracle otherwise -- so an engine that has not grown a
+    vectorized twin yet still resolves.
+    """
+    if backend is None:
+        names = available_backends(engine)
+        backend = default if default in names else "oracle"
+    return get_backend(engine, backend)
+
+
+def load_builtin_engines() -> None:
+    """Import the engine-owning modules (registration side effect).
+
+    Mirrors ``repro.lint.rules._load_builtin_rules``: the registry
+    fills in as modules import, and this forces the built-in set for
+    enumeration (CLI listing, conformance tests) without making
+    ``repro.backends`` itself import-heavy at package import time.
+    """
+    from ..synthesis import sizing  # noqa: F401
+    from ..thermal import electrothermal  # noqa: F401
+    from ..analog import yield_analysis  # noqa: F401

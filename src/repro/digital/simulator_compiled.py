@@ -271,6 +271,10 @@ class CompiledEventEngine:
 
     DEFAULT_EVENT_BUDGET = 1_000_000
     DEFAULT_OSCILLATION_LIMIT = 512
+    #: Bound on the conflict-signature partition cache; clocked designs
+    #: replay a handful of wavefront shapes every cycle, so in practice
+    #: the cache stays tiny.  On overflow it is cleared, never stale.
+    PARTITION_CACHE_MAX = 4096
 
     def __init__(self, netlist: Netlist, clock_period: float = 1e-9,
                  wire_cap_per_fanout: float = 0.5e-15,
@@ -424,6 +428,13 @@ class CompiledEventEngine:
              if name not in pi_set and netlist.driver_of(name) is None],
             dtype=np.int64)
 
+        # Wavefront conflict-signature cache: partition boundaries are
+        # a pure function of the event net-index sequence (the loads
+        # CSR is fixed at compile time and run-only extra nets never
+        # have loads), so identical wavefronts -- the common case in a
+        # clocked design, cycle after cycle -- skip the conflict scan.
+        self._partition_cache: Dict[bytes, Tuple[int, ...]] = {}
+
     # --- evaluation helpers ----------------------------------------------
 
     def _evaluate(self, gates: np.ndarray,
@@ -443,6 +454,59 @@ class CompiledEventEngine:
             values[self._out_net[gates]] = self._evaluate(gates, values)
         if floating.size:
             values[floating] = saved
+
+    def _wave_partition(self, wave_net: np.ndarray,
+                        csr_count: np.ndarray,
+                        csr_start: np.ndarray) -> Tuple[int, ...]:
+        """Conflict-free group boundaries of one wavefront (memoized).
+
+        Returns the exclusive end position of each group, in order.
+        The result depends only on the net-index sequence and the
+        compile-time loads CSR, so it is cached by the raw bytes of
+        ``wave_net``; a cache hit replays the exact boundaries the
+        conflict scan would recompute, keeping the event stream
+        bit-for-bit unchanged.
+        """
+        m = wave_net.size
+        if m == 1:
+            return (1,)
+        signature = wave_net.tobytes()
+        bounds = self._partition_cache.get(signature)
+        if bounds is not None:
+            return bounds
+        csr_gates = self._csr_gates
+        out_net = self._out_net
+        ends: List[int] = []
+        start = 0
+        while start < m:
+            nets_s = wave_net[start:]
+            if nets_s.size == 1:
+                start += 1
+                ends.append(start)
+                continue
+            counts = csr_count[nets_s]
+            total = int(counts.sum())
+            if total:
+                offsets = np.cumsum(counts) - counts
+                ramp = (np.arange(total, dtype=np.int64)
+                        - np.repeat(offsets, counts))
+                load_gates = csr_gates[
+                    np.repeat(csr_start[nets_s], counts) + ramp]
+                load_event = np.repeat(
+                    np.arange(nets_s.size, dtype=np.int64), counts)
+                load_outputs = out_net[load_gates]
+            else:
+                load_gates = np.zeros(0, dtype=np.int64)
+                load_event = load_gates
+                load_outputs = load_gates
+            start += _first_conflict(nets_s, load_gates, load_event,
+                                     load_outputs)
+            ends.append(start)
+        if len(self._partition_cache) >= self.PARTITION_CACHE_MAX:
+            self._partition_cache.clear()
+        bounds = tuple(ends)
+        self._partition_cache[signature] = bounds
+        return bounds
 
     # --- simulation ------------------------------------------------------
 
@@ -606,34 +670,13 @@ class CompiledEventEngine:
                 wave_src = q_src[head:end]
                 head = end
 
+                bounds = self._wave_partition(wave_net, csr_count,
+                                              csr_start)
                 start = 0
-                m = wave_net.size
-                while start < m:
-                    nets_s = wave_net[start:]
-                    counts = csr_count[nets_s]
-                    total = int(counts.sum())
-                    if total:
-                        offsets = np.cumsum(counts) - counts
-                        ramp = (np.arange(total, dtype=np.int64)
-                                - np.repeat(offsets, counts))
-                        load_gates = csr_gates[
-                            np.repeat(csr_start[nets_s], counts) + ramp]
-                        load_event = np.repeat(
-                            np.arange(nets_s.size, dtype=np.int64),
-                            counts)
-                        load_outputs = out_net[load_gates]
-                    else:
-                        load_gates = np.zeros(0, dtype=np.int64)
-                        load_event = load_gates
-                        load_outputs = load_gates
-                    if nets_s.size > 1:
-                        end = _first_conflict(nets_s, load_gates,
-                                              load_event, load_outputs)
-                    else:
-                        end = 1
-                    group_net = nets_s[:end]
-                    group_val = wave_val[start:start + end]
-                    group_src = wave_src[start:start + end]
+                for stop in bounds:
+                    group_net = wave_net[start:stop]
+                    group_val = wave_val[start:stop]
+                    group_src = wave_src[start:stop]
                     applied = values[group_net] != group_val
                     n_applied = int(np.count_nonzero(applied))
                     if n_applied:
@@ -675,22 +718,32 @@ class CompiledEventEngine:
                     values[group_net] = group_val
                     if track_extras:
                         written[group_net] = True
-                    if n_applied and total:
-                        in_group = load_event < end
-                        grp_gates = load_gates[in_group]
-                        grp_event = load_event[in_group]
-                        eval_gates = grp_gates[applied[grp_event]]
-                        if eval_gates.size:
-                            new_out = self._evaluate(eval_gates, values)
-                            out_nets = out_net[eval_gates]
-                            sched = new_out != values[out_nets]
-                            if sched.any():
-                                sched_gates = eval_gates[sched]
-                                buffer.append(
-                                    t + delays[sched_gates],
-                                    out_nets[sched], new_out[sched],
-                                    sched_gates)
-                    start += end
+                    if n_applied:
+                        counts = csr_count[group_net]
+                        total = int(counts.sum())
+                        if total:
+                            offsets = np.cumsum(counts) - counts
+                            ramp = (np.arange(total, dtype=np.int64)
+                                    - np.repeat(offsets, counts))
+                            grp_gates = csr_gates[
+                                np.repeat(csr_start[group_net], counts)
+                                + ramp]
+                            grp_event = np.repeat(
+                                np.arange(group_net.size,
+                                          dtype=np.int64), counts)
+                            eval_gates = grp_gates[applied[grp_event]]
+                            if eval_gates.size:
+                                new_out = self._evaluate(eval_gates,
+                                                         values)
+                                out_nets = out_net[eval_gates]
+                                sched = new_out != values[out_nets]
+                                if sched.any():
+                                    sched_gates = eval_gates[sched]
+                                    buffer.append(
+                                        t + delays[sched_gates],
+                                        out_nets[sched], new_out[sched],
+                                        sched_gates)
+                    start = stop
 
         if time_parts:
             times = np.concatenate(time_parts)

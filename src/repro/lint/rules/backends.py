@@ -1,0 +1,122 @@
+"""R007 backend conformance.
+
+The evaluation-backend protocol (:mod:`repro.backends.protocol`)
+requires every registered engine to expose **both** paths -- the
+scalar ``"oracle"`` and its array-valued ``"vectorized"`` twin -- and
+to declare an equivalence contract stating how closely they must
+agree.  Registrations use literal strings precisely so this can be
+checked statically:
+
+* an engine registered with only one backend is a half-migrated fast
+  path (or an oracle that silently lost its twin);
+* an engine with backends but no ``register_contract`` call has no
+  pinned oracle-equivalence tolerance, so the equivalence suite
+  skips it;
+* a non-literal engine or backend name defeats the static check and
+  is flagged directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..astutil import dotted_name
+from ..context import ModuleInfo
+from ..findings import Finding
+from . import Rule, register
+
+#: The canonical backend names (mirrors
+#: ``repro.backends.protocol.BACKEND_NAMES``; literal here because the
+#: lint layer never imports model code).
+_BACKEND_NAMES = ("oracle", "vectorized")
+
+
+@register
+class BackendConformanceRule(Rule):
+    code = "R007"
+    name = "backend-conformance"
+    description = (
+        "Every register_backend engine must expose both the oracle "
+        "and vectorized paths, declare an equivalence contract, and "
+        "use literal engine/backend names.")
+    scope = "project"
+
+    def check_project(
+            self, infos: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        #: engine -> {backend name} with the first registration site.
+        backends: Dict[str, Dict[str, Tuple[str, int, int]]] = {}
+        contracts: Dict[str, Tuple[str, int, int]] = {}
+
+        for info in infos:
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = dotted_name(node.func)
+                short = callee.split(".")[-1] if callee else ""
+                if short == "register_backend":
+                    self._collect_backend(info, node, backends,
+                                          findings)
+                elif short == "register_contract":
+                    engine = _literal_arg(node, 0, "engine")
+                    if engine is not None:
+                        contracts.setdefault(
+                            engine, (str(info.path), node.lineno,
+                                     node.col_offset))
+
+        for engine in sorted(backends):
+            names = backends[engine]
+            site = next(iter(names.values()))
+            missing = [name for name in _BACKEND_NAMES
+                       if name not in names]
+            if missing:
+                findings.append(Finding(
+                    path=site[0], line=site[1], col=site[2],
+                    code=self.code,
+                    message=(
+                        f"engine '{engine}' registers only "
+                        f"{sorted(names)} -- the oracle/vectorized "
+                        f"protocol requires the "
+                        f"{' and '.join(repr(m) for m in missing)} "
+                        "path(s) too")))
+            if engine not in contracts:
+                findings.append(Finding(
+                    path=site[0], line=site[1], col=site[2],
+                    code=self.code,
+                    message=(
+                        f"engine '{engine}' has no register_contract "
+                        "call -- declare its oracle-equivalence "
+                        "tolerance next to the registrations")))
+        return findings
+
+    def _collect_backend(
+            self, info: ModuleInfo, node: ast.Call,
+            backends: Dict[str, Dict[str, Tuple[str, int, int]]],
+            findings: List[Finding]) -> None:
+        engine = _literal_arg(node, 0, "engine")
+        name = _literal_arg(node, 1, "name")
+        site = (str(info.path), node.lineno, node.col_offset)
+        if engine is None or name is None:
+            findings.append(Finding(
+                path=site[0], line=site[1], col=site[2],
+                code=self.code,
+                message=(
+                    "register_backend engine/backend names must be "
+                    "string literals so conformance is statically "
+                    "checkable")))
+            return
+        backends.setdefault(engine, {}).setdefault(name, site)
+
+
+def _literal_arg(call: ast.Call, position: int,
+                 keyword: str) -> Optional[str]:
+    """The literal string of a positional-or-keyword argument."""
+    node: Optional[ast.AST] = call.args[position] \
+        if len(call.args) > position else None
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            node = kw.value
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

@@ -372,6 +372,81 @@ def default_registry() -> List[ApiSpec]:
         return ler.current_spread_from_ler(
             node, params, n_devices=8, width=width, n_points=32, seed=5)
 
+    def ota_evaluate_batch(input_width: float, tail_current: float,
+                           vth_override: float) -> Any:
+        from ..analog.circuits import SingleStageOta
+        engine = SingleStageOta(node, load_capacitance=1e-12)
+        return engine.evaluate_batch(
+            np.array([input_width, 20 * f]),
+            np.array([4 * f, 4 * f]), np.array([10 * f, 10 * f]),
+            np.array([6 * f, 6 * f]),
+            np.array([tail_current, 20e-6]),
+            node_overrides={"vth": np.array([vth_override, node.vth])})
+
+    def frontend_evaluate_batch(input_width: float,
+                                feedback_capacitance: float,
+                                drain_current: float) -> Any:
+        from ..analog.circuits import DetectorFrontend
+        engine = DetectorFrontend(node, detector_capacitance=5e-12)
+        return engine.evaluate_batch(
+            np.array([input_width, 200 * f]),
+            np.array([2 * f, 2 * f]),
+            np.array([feedback_capacitance, 0.3e-12]),
+            np.array([1e-6, 1e-6]),
+            np.array([drain_current, 300e-6]))
+
+    def electrothermal_batch(frequency: float, activity: float,
+                             rth: float) -> Any:
+        from ..thermal.electrothermal import solve_operating_point_batch
+        return solve_operating_point_batch(
+            node, rth=np.array([rth, 2.0 * rth]),
+            n_gates=10_000, frequency=frequency,
+            activity=activity, max_iterations=8)
+
+    def runaway_thresholds_batch(frequency: float,
+                                 activity: float) -> Any:
+        from ..thermal.electrothermal import runaway_rth_thresholds
+        return runaway_rth_thresholds(
+            [node], n_gates=10_000, frequency=frequency,
+            activity=activity)
+
+    def synthesis_run_vectorized(gain_bound: float,
+                                 power_bound: float) -> Any:
+        from ..synthesis.sizing import Specification, ota_synthesizer
+        spec = Specification(
+            objective="power",
+            constraints={"gain_db": ("min", gain_bound),
+                         "power": ("max", power_bound)})
+        synthesizer = ota_synthesizer(node, 1e-12, spec)
+        result = synthesizer.run(seed=5, maxiter=2, popsize=6,
+                                 backend="vectorized")
+        return {"cost": result.cost, "values": result.values}
+
+    def specification_penalty(gain_bound: float,
+                              gain_value: float) -> float:
+        from types import SimpleNamespace
+
+        from ..synthesis.sizing import Specification
+        spec = Specification(
+            objective="power",
+            constraints={"gain_db": ("min", gain_bound)})
+        return spec.penalty(SimpleNamespace(gain_db=gain_value,
+                                            power=1e-3))
+
+    def ota_yield_run(gain_bound: float, offset_bound: float) -> Any:
+        from ..analog.circuits import OtaDesign
+        from ..analog.yield_analysis import OtaYieldAnalyzer
+        analyzer = OtaYieldAnalyzer(
+            node, OtaDesign(input_width=40 * f, input_length=4 * f,
+                            load_width=20 * f, load_length=6 * f,
+                            tail_current=20e-6),
+            load_capacitance=1e-12, seed=19)
+        report = analyzer.run({"gain_db": gain_bound,
+                               "offset_sigma": offset_bound},
+                              n_samples=32)
+        return {"overall": report.overall_yield,
+                "sigma_offset": report.sigma_offset}
+
     return [
         ApiSpec("devices.leakage.subthreshold_current",
                 leakage.subthreshold_current,
@@ -610,6 +685,38 @@ def default_registry() -> List[ApiSpec]:
                 electrothermal,
                 {"frequency": 1e9, "activity": 0.1, "rth": 1.0},
                 ("frequency", "activity", "rth")),
+        ApiSpec("thermal.electrothermal.solve_operating_point_batch",
+                electrothermal_batch,
+                {"frequency": 1e9, "activity": 0.1, "rth": 1.0},
+                ("frequency", "activity", "rth")),
+        ApiSpec("thermal.electrothermal.runaway_rth_thresholds",
+                runaway_thresholds_batch,
+                {"frequency": 1e9, "activity": 0.1},
+                ("frequency", "activity")),
+        ApiSpec("analog.circuits.SingleStageOta.evaluate_batch",
+                ota_evaluate_batch,
+                {"input_width": 40 * f, "tail_current": 20e-6,
+                 "vth_override": 0.22},
+                ("input_width", "tail_current", "vth_override")),
+        ApiSpec("analog.circuits.DetectorFrontend.evaluate_batch",
+                frontend_evaluate_batch,
+                {"input_width": 200 * f,
+                 "feedback_capacitance": 0.3e-12,
+                 "drain_current": 300e-6},
+                ("input_width", "feedback_capacitance",
+                 "drain_current")),
+        ApiSpec("synthesis.sizing.CircuitSynthesizer.run",
+                synthesis_run_vectorized,
+                {"gain_bound": 40.0, "power_bound": 1e-3},
+                ("gain_bound", "power_bound")),
+        ApiSpec("synthesis.sizing.Specification.penalty",
+                specification_penalty,
+                {"gain_bound": 40.0, "gain_value": 45.0},
+                ("gain_bound",)),
+        ApiSpec("analog.yield_analysis.OtaYieldAnalyzer.run",
+                ota_yield_run,
+                {"gain_bound": 30.0, "offset_bound": 5e-3},
+                ("gain_bound", "offset_bound")),
         ApiSpec("exec.policy.RetryPolicy", retry_policy,
                 {"timeout_s": 1.0, "backoff_initial_s": 0.05,
                  "backoff_factor": 2.0},

@@ -24,6 +24,8 @@ from ..technology.node import TechnologyNode
 from ..analog.circuits import (DetectorFrontend, DetectorFrontendDesign,
                                FrontendPerformance, OtaDesign,
                                OtaPerformance, SingleStageOta)
+from ..backends.protocol import BACKEND_NAMES, register_backend
+from ..backends.contracts import register_contract
 
 
 @dataclass(frozen=True)
@@ -60,6 +62,9 @@ class SynthesisResult:
     feasible: bool
     #: Optimizer convergence diagnostics (None for hand-built results).
     report: Optional[ConvergenceReport] = None
+    #: Which evaluation backend scored the population ("oracle" or
+    #: "vectorized"); hand-built results default to the oracle.
+    backend: str = "oracle"
 
 
 @dataclass
@@ -74,24 +79,77 @@ class Specification:
     constraints: Dict[str, Tuple[str, float]]
     objective: str = "power"
 
-    def penalty(self, performance: object) -> float:
-        """Sum of normalized constraint violations (0 when feasible)."""
-        total = 0.0
-        for attr, (direction, bound) in self.constraints.items():
-            value = getattr(performance, attr)
+    def __post_init__(self) -> None:
+        """Typed validation of the spec targets (bugfix: a NaN bound
+        used to silently make every candidate 'feasible').
+
+        Directions are still checked lazily in :meth:`penalty` so a
+        mutated-after-construction spec fails the same way it always
+        did.
+        """
+        for attr, entry in self.constraints.items():
+            try:
+                _direction, bound = entry
+            except (TypeError, ValueError):
+                raise ModelDomainError(
+                    f"constraint {attr!r} must be a (direction, bound) "
+                    f"pair, got {entry!r}") from None
+            if not isinstance(bound, (int, float)) \
+                    or isinstance(bound, bool) \
+                    or not math.isfinite(bound):
+                raise ModelDomainError(
+                    f"constraint {attr!r} bound must be a finite "
+                    f"number, got {bound!r}")
+
+    def penalty(self, performance: object):
+        """Sum of normalized constraint violations (0 when feasible).
+
+        Accepts scalar performance objects (returns a float, the
+        oracle path) and array-valued ones from the batched
+        evaluators (returns the elementwise ndarray of penalties).
+        Array handling adds violation terms in the same constraint
+        order with explicit ``np.where`` masks, so each element is
+        bit-for-bit the scalar result -- no implicit broadcasting
+        surprises.
+        """
+        values = {attr: getattr(performance, attr)
+                  for attr in self.constraints}
+        if all(np.ndim(v) == 0 for v in values.values()):
+            total = 0.0
+            for attr, (direction, bound) in self.constraints.items():
+                value = values[attr]
+                if direction == "min":
+                    if value < bound:
+                        total += (bound - value) / max(abs(bound), 1e-30)
+                elif direction == "max":
+                    if value > bound:
+                        total += (value - bound) / max(abs(bound), 1e-30)
+                else:
+                    raise ModelDomainError(f"bad direction {direction!r}")
+            return total
+        arrays = np.broadcast_arrays(
+            *[np.asarray(v, dtype=float) for v in values.values()])
+        total = np.zeros(arrays[0].shape)
+        for (attr, (direction, bound)), value in \
+                zip(self.constraints.items(), arrays):
+            scale = max(abs(bound), 1e-30)
             if direction == "min":
-                if value < bound:
-                    total += (bound - value) / max(abs(bound), 1e-30)
+                term = np.where(value < bound, (bound - value) / scale,
+                                0.0)
             elif direction == "max":
-                if value > bound:
-                    total += (value - bound) / max(abs(bound), 1e-30)
+                term = np.where(value > bound, (value - bound) / scale,
+                                0.0)
             else:
                 raise ModelDomainError(f"bad direction {direction!r}")
+            total = total + term
         return total
 
-    def is_feasible(self, performance: object) -> bool:
-        """True when all constraints hold."""
-        return self.penalty(performance) == 0.0
+    def is_feasible(self, performance: object):
+        """True when all constraints hold (elementwise for arrays)."""
+        penalty = self.penalty(performance)
+        if np.ndim(penalty) == 0:
+            return bool(penalty == 0.0)
+        return penalty == 0.0
 
 
 class CircuitSynthesizer:
@@ -107,18 +165,33 @@ class CircuitSynthesizer:
         infeasible geometry; those candidates are heavily penalized.
     spec:
         Constraints + objective.
+    evaluate_batch:
+        Optional vectorized twin: maps a {name: ndarray} dict of
+        per-candidate columns to a performance object with array
+        fields (NaN for infeasible candidates).  When provided, the
+        ``"vectorized"`` backend scores a whole DE generation in one
+        call; when omitted, only the ``"oracle"`` backend is
+        available.
+    engine:
+        Optional engine name in the :mod:`repro.backends` registry,
+        for discoverability (set by the ready-made factories).
     """
 
     PENALTY_WEIGHT = 1e3
 
     def __init__(self, variables: Sequence[Variable],
                  evaluate: Callable[[Dict[str, float]], object],
-                 spec: Specification):
+                 spec: Specification,
+                 evaluate_batch: Optional[
+                     Callable[[Dict[str, np.ndarray]], object]] = None,
+                 engine: Optional[str] = None):
         if not variables:
             raise ModelDomainError("need at least one design variable")
         self.variables = list(variables)
         self.evaluate = evaluate
+        self.evaluate_batch = evaluate_batch
         self.spec = spec
+        self.engine = engine
         self._n_evaluations = 0
 
     def _decode(self, x: np.ndarray) -> Dict[str, float]:
@@ -143,16 +216,73 @@ class CircuitSynthesizer:
         # Normalize the objective so penalties always dominate.
         return cost
 
+    def _decode_batch(self, x: np.ndarray) -> Dict[str, np.ndarray]:
+        """Decode an (n_vars, S) population; per-element ``decode``
+        calls keep the mapping bit-for-bit equal to the oracle."""
+        return {var.name: np.array([var.decode(float(u)) for u in row],
+                                   dtype=float)
+                for var, row in zip(self.variables, x)}
+
+    def _cost_batch(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized cost: scores all S candidates in one pass.
+
+        scipy's ``vectorized=True`` sends ``x`` with shape
+        ``(n_vars, S)`` and expects ``(S,)`` back.  Candidates the
+        oracle would reject (typed evaluator errors) come back as
+        NaN from the batched evaluator and land on the same 1e12
+        sentinel, so the cost surface is element-for-element the
+        oracle's.
+        """
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x[:, np.newaxis]
+        self._n_evaluations += x.shape[1]
+        performance = self.evaluate_batch(self._decode_batch(x))
+        penalty = np.asarray(self.spec.penalty(performance), dtype=float)
+        objective = np.asarray(getattr(performance, self.spec.objective),
+                               dtype=float)
+        cost = objective + self.PENALTY_WEIGHT * penalty \
+            * (np.abs(objective) + 1e-12)
+        cost = np.where(np.isfinite(cost), cost, 1e12)
+        return cost[0] if single else cost
+
     def run(self, seed: Optional[int] = None, maxiter: int = 60,
-            popsize: int = 20) -> SynthesisResult:
-        """Run differential evolution; returns the best design."""
+            popsize: int = 20,
+            backend: Optional[str] = None) -> SynthesisResult:
+        """Run differential evolution; returns the best design.
+
+        ``backend`` selects the evaluation path: ``"oracle"`` scores
+        candidates one by one through the scalar evaluator,
+        ``"vectorized"`` scores each generation in a single batched
+        call, and ``None`` picks vectorized when a batched evaluator
+        is available.  Both paths use deferred updating, so a fixed
+        seed yields the *identical* optimization trajectory -- and
+        best design -- on either backend.
+        """
         maxiter = check_count("maxiter", maxiter)
         popsize = check_count("popsize", popsize, minimum=4)
+        if backend is None:
+            backend = ("vectorized" if self.evaluate_batch is not None
+                       else "oracle")
+        if backend not in BACKEND_NAMES:
+            raise ModelDomainError(
+                f"backend must be one of {BACKEND_NAMES}, got {backend!r}")
+        if backend == "vectorized" and self.evaluate_batch is None:
+            raise ModelDomainError(
+                "vectorized backend requested but this synthesizer has "
+                "no batched evaluator; pass evaluate_batch= or use "
+                "backend='oracle'")
         self._n_evaluations = 0
         bounds = [(0.0, 1.0)] * len(self.variables)
-        result = differential_evolution(
-            self._cost, bounds, seed=seed, maxiter=maxiter,
-            popsize=popsize, tol=1e-8, polish=False, init="sobol")
+        common = dict(seed=seed, maxiter=maxiter, popsize=popsize,
+                      tol=1e-8, polish=False, init="sobol",
+                      updating="deferred")
+        if backend == "vectorized":
+            result = differential_evolution(
+                self._cost_batch, bounds, vectorized=True, **common)
+        else:
+            result = differential_evolution(self._cost, bounds, **common)
         values = self._decode(result.x)
         performance = self.evaluate(values)
         report = ConvergenceReport(
@@ -170,6 +300,7 @@ class CircuitSynthesizer:
             n_evaluations=self._n_evaluations,
             feasible=self.spec.is_feasible(performance),
             report=report,
+            backend=backend,
         )
 
 
@@ -191,6 +322,12 @@ def ota_synthesizer(node: TechnologyNode, load_capacitance: float,
         )
         return engine.evaluate(design)
 
+    def evaluate_batch(values: Dict[str, np.ndarray]) -> OtaPerformance:
+        return engine.evaluate_batch(
+            values["input_width"], values["input_length"],
+            values["load_width"], values["load_length"],
+            values["tail_current"], invalid="nan")
+
     variables = [
         Variable("input_width", 2 * f, 2000 * f),
         Variable("input_length", f, 20 * f),
@@ -198,7 +335,9 @@ def ota_synthesizer(node: TechnologyNode, load_capacitance: float,
         Variable("load_length", f, 40 * f),
         Variable("tail_current", 1e-6, 5e-3),
     ]
-    return CircuitSynthesizer(variables, evaluate, spec)
+    return CircuitSynthesizer(variables, evaluate, spec,
+                              evaluate_batch=evaluate_batch,
+                              engine="synthesis.ota")
 
 
 def frontend_synthesizer(node: TechnologyNode,
@@ -221,6 +360,14 @@ def frontend_synthesizer(node: TechnologyNode,
         )
         return engine.evaluate(design)
 
+    def evaluate_batch(values: Dict[str, np.ndarray]
+                       ) -> FrontendPerformance:
+        return engine.evaluate_batch(
+            values["input_width"], values["input_length"],
+            values["feedback_capacitance"],
+            values["shaper_time_constant"],
+            values["drain_current"], invalid="nan")
+
     variables = [
         Variable("input_width", 10 * f, 20000 * f),
         Variable("input_length", f, 10 * f),
@@ -228,7 +375,9 @@ def frontend_synthesizer(node: TechnologyNode,
         Variable("shaper_time_constant", 50e-9, 20e-6),
         Variable("drain_current", 10e-6, 5e-3),
     ]
-    return CircuitSynthesizer(variables, evaluate, spec)
+    return CircuitSynthesizer(variables, evaluate, spec,
+                              evaluate_batch=evaluate_batch,
+                              engine="synthesis.frontend")
 
 
 def default_ota_spec() -> Specification:
@@ -249,3 +398,23 @@ def default_frontend_spec() -> Specification:
         "peaking_time": ("max", 3e-6),
         "charge_gain": ("min", 1e12),     # 1 mV/fC
     }, objective="power")
+
+
+# --- backend registry wiring ----------------------------------------------
+# Literal engine/backend strings: the R007 backend-conformance lint rule
+# verifies statically that every registered engine exposes both paths.
+
+register_backend("synthesis.ota", "oracle", SingleStageOta.evaluate,
+                 "scalar 5T-OTA analytic evaluation, one sizing per call")
+register_backend("synthesis.ota", "vectorized",
+                 SingleStageOta.evaluate_batch,
+                 "population-batched 5T-OTA evaluation (ndarray fields)")
+register_backend("synthesis.frontend", "oracle", DetectorFrontend.evaluate,
+                 "scalar CSA + CR-RC shaper evaluation, one sizing per call")
+register_backend("synthesis.frontend", "vectorized",
+                 DetectorFrontend.evaluate_batch,
+                 "population-batched detector front-end evaluation")
+register_contract("synthesis.ota", 0.0,
+                  "closed-form evaluator: vectorized twin is bit-for-bit")
+register_contract("synthesis.frontend", 0.0,
+                  "closed-form evaluator: vectorized twin is bit-for-bit")

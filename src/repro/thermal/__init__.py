@@ -2,16 +2,22 @@
 
 from .mesh import K_SILICON, ThermalMesh, ThermalStack
 from .electrothermal import (
+    ElectrothermalBatch,
     ElectrothermalResult,
+    electrothermal_rth_sweep,
     electrothermal_trend,
     fixed_die_electrothermal_trend,
     runaway_rth_threshold,
+    runaway_rth_thresholds,
     solve_operating_point,
+    solve_operating_point_batch,
 )
 
 __all__ = [
     "K_SILICON", "ThermalMesh", "ThermalStack",
-    "ElectrothermalResult", "electrothermal_trend",
+    "ElectrothermalBatch", "ElectrothermalResult",
+    "electrothermal_rth_sweep", "electrothermal_trend",
     "fixed_die_electrothermal_trend",
-    "runaway_rth_threshold", "solve_operating_point",
+    "runaway_rth_threshold", "runaway_rth_thresholds",
+    "solve_operating_point", "solve_operating_point_batch",
 ]

@@ -1,0 +1,169 @@
+"""Hypothesis property suite: oracle/vectorized backend equivalence.
+
+Each registered engine declares an :class:`EquivalenceContract`; these
+properties drive randomly drawn inputs through both paths and check
+the contract with :func:`assert_backends_agree` -- bit-for-bit for the
+closed-form synthesis evaluators, a 1e-9 relative tolerance (plus
+exact discrete outcomes) for the iterative electrothermal solver.
+"""
+
+import dataclasses
+import re
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analog.circuits import (DetectorFrontend, DetectorFrontendDesign,
+                                   FrontendPerformance, OtaDesign,
+                                   OtaPerformance, SingleStageOta)
+from repro.backends import assert_backends_agree, equivalence_contract
+from repro.robust.errors import BackendEquivalenceError, ModelDomainWarning
+from repro.technology.library import get_node
+from repro.thermal import (ThermalStack, solve_operating_point,
+                           solve_operating_point_batch)
+
+NODE = get_node("65nm")
+FEATURE = NODE.feature_size
+
+widths = st.floats(min_value=2.0 * FEATURE, max_value=1e-4,
+                   allow_nan=False, allow_infinity=False)
+lengths = st.floats(min_value=FEATURE, max_value=1e-5,
+                    allow_nan=False, allow_infinity=False)
+currents = st.floats(min_value=1e-7, max_value=1e-3,
+                     allow_nan=False, allow_infinity=False)
+
+ota_rows = st.lists(st.tuples(widths, lengths, widths, lengths, currents),
+                    min_size=1, max_size=6)
+
+frontend_rows = st.lists(
+    st.tuples(widths, lengths,
+              st.floats(min_value=1e-14, max_value=1e-11),
+              st.floats(min_value=1e-8, max_value=1e-5),
+              currents),
+    min_size=1, max_size=6)
+
+
+def _stack(cls, scalars):
+    """Scalar results stacked per field into one array-valued result."""
+    return cls(**{f.name: np.array([getattr(s, f.name) for s in scalars])
+                  for f in dataclasses.fields(cls)})
+
+
+class TestSynthesisOtaContract:
+    """``synthesis.ota``: evaluate_batch is bit-for-bit the scalar loop."""
+
+    @given(ota_rows)
+    @settings(max_examples=25, deadline=None)
+    def test_population_is_bitwise_equal(self, rows):
+        engine = SingleStageOta(NODE, load_capacitance=1e-12)
+        oracle = _stack(OtaPerformance,
+                        [engine.evaluate(OtaDesign(*row)) for row in rows])
+        iw, il, lw, ll, tail = (np.array(col) for col in zip(*rows))
+        batch = engine.evaluate_batch(iw, il, lw, ll, tail)
+        assert_backends_agree(oracle, batch,
+                              equivalence_contract("synthesis.ota"))
+
+    @given(ota_rows,
+           st.lists(st.floats(min_value=1e-10, max_value=5e-9),
+                    min_size=1, max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_tox_overrides_match_shifted_nodes(self, rows, toxes):
+        n = min(len(rows), len(toxes))
+        rows, toxes = rows[:n], toxes[:n]
+        scalars = [
+            SingleStageOta(NODE.with_overrides(tox=tox),
+                           load_capacitance=1e-12).evaluate(OtaDesign(*row))
+            for row, tox in zip(rows, toxes)]
+        iw, il, lw, ll, tail = (np.array(col) for col in zip(*rows))
+        batch = SingleStageOta(NODE, load_capacitance=1e-12).evaluate_batch(
+            iw, il, lw, ll, tail,
+            node_overrides={"tox": np.array(toxes)})
+        assert_backends_agree(_stack(OtaPerformance, scalars), batch,
+                              equivalence_contract("synthesis.ota"))
+
+
+class TestSynthesisFrontendContract:
+    """``synthesis.frontend``: bit-for-bit population evaluation."""
+
+    @given(frontend_rows)
+    @settings(max_examples=25, deadline=None)
+    def test_population_is_bitwise_equal(self, rows):
+        engine = DetectorFrontend(NODE)
+        oracle = _stack(
+            FrontendPerformance,
+            [engine.evaluate(DetectorFrontendDesign(*row)) for row in rows])
+        arrays = (np.array(col) for col in zip(*rows))
+        batch = engine.evaluate_batch(*arrays)
+        assert_backends_agree(oracle, batch,
+                              equivalence_contract("synthesis.frontend"))
+
+
+class TestElectrothermalContract:
+    """``thermal.electrothermal``: 1e-9 relative junction agreement and
+    exact discrete outcomes per grid element."""
+
+    @given(st.lists(st.floats(min_value=0.5, max_value=120.0),
+                    min_size=1, max_size=5),
+           st.floats(min_value=2e8, max_value=3e9),
+           st.floats(min_value=0.02, max_value=0.4))
+    @settings(max_examples=20, deadline=None)
+    def test_rth_grid_matches_scalar_solves(self, rth_values, frequency,
+                                            activity):
+        contract = equivalence_contract("thermal.electrothermal")
+        n_gates = 200_000
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ModelDomainWarning)
+            batch = solve_operating_point_batch(
+                [NODE], rth=np.array(rth_values), n_gates=n_gates,
+                frequency=frequency, activity=activity)
+            for j, rth in enumerate(rth_values):
+                scalar = solve_operating_point(
+                    NODE, n_gates=n_gates, frequency=frequency,
+                    activity=activity,
+                    stack=ThermalStack(rth_junction_to_ambient=rth))
+                element = batch.result((0, j))
+                assert element.converged == scalar.converged
+                assert element.runaway == scalar.runaway
+                assert element.n_iterations == scalar.n_iterations
+                assert element.junction_temperature == pytest.approx(
+                    scalar.junction_temperature, rel=contract.rtol)
+                assert element.total_power == pytest.approx(
+                    scalar.total_power, rel=1e-9)
+
+    def test_report_parity_modulo_wall_clock(self):
+        scalar = solve_operating_point(NODE, n_gates=500_000)
+        batch = solve_operating_point_batch([NODE], n_gates=500_000)
+        strip = lambda s: re.sub(r" in \S+ s wall-clock", "", s)
+        assert strip(str(batch.result((0,)).report)) \
+            == strip(str(scalar.report))
+
+
+class TestAssertBackendsAgree:
+    """The checker itself: typed, engine-naming failures."""
+
+    def test_bitwise_divergence_raises_typed_error(self):
+        contract = equivalence_contract("synthesis.ota")
+        a = {"x": np.array([1.0, 2.0])}
+        b = {"x": np.array([1.0, 2.0 + 1e-12])}
+        with pytest.raises(BackendEquivalenceError, match="synthesis.ota"):
+            assert_backends_agree(a, b, contract)
+
+    def test_tolerance_contract_accepts_one_ulp(self):
+        contract = equivalence_contract("thermal.electrothermal")
+        a = {"x": np.array([300.0])}
+        b = {"x": np.array([np.nextafter(300.0, 400.0)])}
+        assert_backends_agree(a, b, contract)
+
+    def test_leaf_count_mismatch_raises(self):
+        contract = equivalence_contract("synthesis.ota")
+        with pytest.raises(BackendEquivalenceError, match="leaves"):
+            assert_backends_agree({"x": 1.0}, {"x": 1.0, "y": 2.0},
+                                  contract)
+
+    def test_matching_nans_satisfy_bitwise_contract(self):
+        contract = equivalence_contract("synthesis.ota")
+        a = {"x": np.array([float("nan"), 1.0])}
+        b = {"x": np.array([float("nan"), 1.0])}
+        assert_backends_agree(a, b, contract)

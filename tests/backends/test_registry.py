@@ -1,0 +1,92 @@
+"""Registry and protocol tests for ``repro.backends``."""
+
+import pytest
+
+from repro.backends import (
+    BACKEND_NAMES,
+    available_backends,
+    contracted_engines,
+    equivalence_contract,
+    get_backend,
+    register_backend,
+    register_contract,
+    registered_engines,
+    resolve_backend,
+)
+from repro.robust.errors import ModelDomainError
+
+BUILTIN_ENGINES = ("analog.ota_yield", "synthesis.frontend",
+                   "synthesis.ota", "thermal.electrothermal")
+
+
+class TestRegistry:
+    def test_builtin_engines_registered(self):
+        engines = registered_engines()
+        for engine in BUILTIN_ENGINES:
+            assert engine in engines
+
+    def test_every_builtin_engine_has_both_paths(self):
+        for engine in BUILTIN_ENGINES:
+            assert available_backends(engine) == BACKEND_NAMES
+
+    def test_every_builtin_engine_has_a_contract(self):
+        contracted = contracted_engines()
+        for engine in BUILTIN_ENGINES:
+            assert engine in contracted
+            contract = equivalence_contract(engine)
+            assert contract.rtol >= 0.0
+
+    def test_synthesis_contracts_are_bitwise(self):
+        assert equivalence_contract("synthesis.ota").bitwise
+        assert equivalence_contract("synthesis.frontend").bitwise
+        assert equivalence_contract("analog.ota_yield").bitwise
+
+    def test_electrothermal_contract_is_tolerance(self):
+        contract = equivalence_contract("thermal.electrothermal")
+        assert not contract.bitwise
+        assert 0.0 < contract.rtol <= 1e-9
+
+    def test_get_backend_descriptor(self):
+        backend = get_backend("synthesis.ota", "vectorized")
+        assert backend.engine == "synthesis.ota"
+        assert backend.name == "vectorized"
+        assert callable(backend.call)
+
+    def test_unknown_engine_is_typed_error(self):
+        with pytest.raises(ModelDomainError, match="unknown"):
+            available_backends("no.such.engine")
+
+    def test_unknown_backend_is_typed_error(self):
+        with pytest.raises(ModelDomainError, match="no backend"):
+            get_backend("synthesis.ota", "oracle2")
+
+    def test_bad_backend_name_rejected_at_registration(self):
+        with pytest.raises(ModelDomainError, match="backend name"):
+            register_backend("x.y", "gpu", lambda: None)
+
+    def test_resolve_defaults_to_vectorized(self):
+        assert resolve_backend("synthesis.ota", None).name \
+            == "vectorized"
+
+    def test_resolve_explicit_oracle(self):
+        assert resolve_backend("synthesis.ota", "oracle").name \
+            == "oracle"
+
+    def test_resolve_falls_back_to_oracle(self):
+        register_backend("test.oracle_only", "oracle", lambda: None)
+        try:
+            assert resolve_backend("test.oracle_only", None).name \
+                == "oracle"
+        finally:
+            from repro.backends import protocol
+            protocol._REGISTRY.pop("test.oracle_only", None)
+
+    def test_contract_rtol_must_be_finite_nonnegative(self):
+        with pytest.raises(ModelDomainError, match="rtol"):
+            register_contract("x.y", float("nan"))
+        with pytest.raises(ModelDomainError, match="rtol"):
+            register_contract("x.y", -1e-9)
+
+    def test_missing_contract_is_typed_error(self):
+        with pytest.raises(ModelDomainError, match="no equivalence"):
+            equivalence_contract("no.such.engine")

@@ -342,3 +342,51 @@ class TestMemoizedResultAccessors:
         assert result.toggle_count("n0") == 2
         assert result.toggle_count("absent") == 0
         assert result.toggle_count() == len(result.events)
+
+
+class TestPartitionCache:
+    """The conflict-signature partition cache: warm runs replay the
+    memoized wavefront partitions bit-for-bit."""
+
+    def test_warm_rerun_is_bitwise_identical(self, node):
+        netlist = lfsr(node, width=6)
+        engine = CompiledEventEngine(netlist, clock_period=2e-9)
+        stimulus = {"enable": [True]}
+        cold = engine.run(stimulus, 16, initial_state={"q0": True})
+        assert len(engine._partition_cache) > 0
+        cached = dict(engine._partition_cache)
+        warm = engine.run(stimulus, 16, initial_state={"q0": True})
+        assert cold.to_events() is not warm.to_events()
+        assert len(cold.to_events()) == len(warm.to_events())
+        for ref, got in zip(cold.to_events(), warm.to_events()):
+            assert (ref.time, ref.net, ref.value, ref.instance) \
+                == (got.time, got.net, got.value, got.instance)
+        assert cold.final_values == warm.final_values
+        # The warm run only re-reads entries; no signature changes.
+        assert engine._partition_cache == cached
+
+    def test_cached_engine_matches_scalar_oracle(self, node):
+        netlist = clocked_datapath(node)
+        stimulus = random_stimulus(netlist, 12, seed=3)
+        engine = CompiledEventEngine(netlist, clock_period=2e-9)
+        engine.run(stimulus, 12)  # populate the cache
+        result = EventDrivenSimulator(netlist, clock_period=2e-9).run(
+            stimulus, 12)
+        assert_streams_equal(result, engine.run(stimulus, 12))
+
+    def test_cache_overflow_clears_not_evicts(self, node):
+        netlist = inverter_chain(node, 4)
+        engine = CompiledEventEngine(netlist, clock_period=1e-9)
+        engine.PARTITION_CACHE_MAX = 2
+        engine.run({"a": [True, False, True, False]}, 4)
+        assert len(engine._partition_cache) <= 2
+
+    def test_single_event_wavefront_not_cached(self, node):
+        # m == 1 wavefronts take the fast path without touching the
+        # cache; an inverter chain produces only singleton wavefronts.
+        netlist = inverter_chain(node, 3)
+        engine = CompiledEventEngine(netlist, clock_period=1e-9)
+        engine.run({"a": [True]}, 1)
+        for signature in engine._partition_cache:
+            assert len(signature) > np.dtype(np.int64).itemsize \
+                or engine._partition_cache[signature] != (1,)

@@ -36,7 +36,7 @@ class TestRegistry:
                 "exec.result.wilson_interval",
                 "exec.result.clopper_pearson_interval",
                 "exec.runner.run_sharded"} <= names
-        assert len(names) >= 64
+        assert len(names) >= 70
 
 
 class TestSweep:

@@ -226,3 +226,34 @@ class TestYieldCommand:
         assert main(["yield", "--dies", "40", "--shards", "4",
                      "--checkpoint", path, "--resume"]) == 0
         assert capsys.readouterr().out == first
+
+
+class TestBackendsCommand:
+    def test_lists_engines_and_contracts(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "synthesis.ota" in out
+        assert "thermal.electrothermal" in out
+        assert "oracle" in out and "vectorized" in out
+        assert "bit-for-bit" in out
+
+
+class TestElectrothermalCommand:
+    def test_smoke_table(self, capsys):
+        assert main(["electrothermal", "--nodes", "65nm",
+                     "--rth-points", "3", "--gates", "100000"]) == 0
+        out = capsys.readouterr().out
+        assert "junction_K" in out
+        assert "65nm" in out
+
+    def test_backends_agree_on_the_table(self, capsys):
+        args = ["electrothermal", "--nodes", "65nm,130nm",
+                "--rth-points", "3", "--gates", "100000"]
+        assert main(args + ["--backend", "oracle"]) == 0
+        oracle = capsys.readouterr().out
+        assert main(args + ["--backend", "vectorized"]) == 0
+        assert capsys.readouterr().out == oracle
+
+    def test_unknown_node_fails_cleanly(self, capsys):
+        assert main(["electrothermal", "--nodes", "7nm"]) == 1
+        assert "7nm" in capsys.readouterr().err
