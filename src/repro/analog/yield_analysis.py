@@ -253,4 +253,6 @@ register_backend(
 register_contract(
     "analog.ota_yield", 0.0,
     "Monte Carlo yield reports are bit-for-bit identical: the batched "
-    "evaluator shares every closed-form float with the scalar oracle")
+    "evaluator shares every closed-form float with the scalar oracle",
+    entry_points=(
+        "repro.analog.yield_analysis.OtaYieldAnalyzer.run",))

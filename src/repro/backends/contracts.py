@@ -26,7 +26,7 @@ silent gap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -43,6 +43,12 @@ class EquivalenceContract:
     #: iterative solvers.
     rtol: float
     description: str = ""
+    #: Dotted names of the functions the contract covers beyond the
+    #: registered backends themselves (e.g. the public drivers that
+    #: dispatch through the engine).  Consumed statically by the
+    #: R008 transitive-determinism lint pass, which treats each as a
+    #: determinism root.
+    entry_points: Tuple[str, ...] = ()
 
     @property
     def bitwise(self) -> bool:
@@ -54,13 +60,20 @@ _CONTRACTS: Dict[str, EquivalenceContract] = {}
 
 
 def register_contract(engine: str, rtol: float,
-                      description: str = "") -> EquivalenceContract:
-    """Declare the equivalence contract of ``engine``."""
+                      description: str = "",
+                      entry_points: Tuple[str, ...] = ()
+                      ) -> EquivalenceContract:
+    """Declare the equivalence contract of ``engine``.
+
+    ``entry_points`` should be literal dotted names (the lint pass
+    reads them statically from the registration call site).
+    """
     if not (rtol >= 0.0 and np.isfinite(rtol)):
         raise ModelDomainError(
             f"contract rtol must be finite and >= 0, got {rtol!r}")
     contract = EquivalenceContract(engine=engine, rtol=float(rtol),
-                                   description=description)
+                                   description=description,
+                                   entry_points=tuple(entry_points))
     _CONTRACTS[engine] = contract
     return contract
 

@@ -10,6 +10,18 @@ from __future__ import annotations
 import math
 from ..robust.errors import ModelDomainError
 
+__all__ = [
+    "BOLTZMANN", "ELECTRON_CHARGE", "EPSILON_0", "EPSILON_SIO2",
+    "EPSILON_SI", "N_INTRINSIC_SI", "ROOM_TEMPERATURE", "RHO_COPPER",
+    "RHO_ALUMINIUM",
+    "thermal_voltage", "kt_energy",
+    "nm", "um", "mm", "to_nm", "to_um",
+    "ps", "to_ps", "ns", "to_ns", "ghz", "mhz",
+    "ff", "to_ff", "pf",
+    "mw", "to_mw", "uw",
+    "db", "db20", "from_db", "dbm_to_watts", "watts_to_dbm",
+]
+
 # --- fundamental constants (CODATA values, SI units) ---------------------
 
 #: Boltzmann constant [J/K].

@@ -1,40 +1,64 @@
-"""repro.lint -- AST-based model-correctness linter.
+"""repro.lint -- AST- and call-graph-based model-correctness linter.
 
 Self-contained static analysis (stdlib ``ast``/``tokenize`` plus the
 ``repro.robust.errors`` taxonomy, no third-party dependencies)
 enforcing the codebase's cross-cutting invariants:
 
-========  ======================  =========================================
-code      name                    invariant
-========  ======================  =========================================
-``R001``  rng-discipline          no hidden global RNG state; streams are
-                                  injected or seeded via
-                                  :func:`repro.robust.rng.resolve_rng`
-``R002``  validation-boundary     public numeric model APIs reach
-                                  ``repro.robust`` validation
-``R003``  exception-hygiene       no bare except; raises use the
-                                  ``repro.robust.errors`` taxonomy
-``R004``  fault-registry-drift    fault-sweep registrations track the
-                                  live API surface in both directions
-``R005``  vectorization-safety    no scalar ``math.*`` on array-annotated
-                                  parameters
-========  ======================  =========================================
+========  ========================  =======================================
+code      name                      invariant
+========  ========================  =======================================
+``R001``  rng-discipline            no hidden global RNG state; streams
+                                    are injected or seeded via
+                                    :func:`repro.robust.rng.resolve_rng`
+``R002``  validation-boundary       public numeric model APIs reach
+                                    ``repro.robust`` validation
+``R003``  exception-hygiene         no bare except; raises use the
+                                    ``repro.robust.errors`` taxonomy
+``R004``  fault-registry-drift      fault-sweep registrations track the
+                                    live API surface in both directions
+``R005``  vectorization-safety      no scalar ``math.*`` on
+                                    array-annotated parameters
+``R006``  shard-seed-discipline     shard entry points derive their
+                                    streams from the pinned shard seed
+``R007``  backend-conformance       every registered engine exposes both
+                                    an oracle and a vectorized path
+``R008``  transitive-determinism    no determinism root *reaches* a
+                                    nondeterministic effect through the
+                                    project call graph
+``R009``  twin-signature-parity     scalar/batched twin signatures agree
+                                    modulo the batching axis
+``R010``  dead-public-api           public functions are referenced or
+                                    exported somewhere in the project
+========  ========================  =======================================
 
-Run ``python -m repro.lint --list-rules`` for the live catalog, and see
-``docs/architecture.md`` for the waiver policy.
+R001-R007 are per-file (syntactic); R008-R010 run on the project-wide
+semantic model (:mod:`repro.lint.semantic`) built from content-hash
+cached per-file summaries (``.replint_cache/``; disable with
+``--no-cache``).  Run ``python -m repro.lint --list-rules`` for the
+live catalog, and see ``docs/architecture.md`` for the full rule
+catalog and waiver policy.
 """
 
 from .engine import discover_files, run_lint
 from .findings import Finding, LintReport
 from .rules import Rule, all_rules, get_rules, register
+from .sarif import to_sarif
+from .semantic import (AnalysisCache, CallGraph, SemanticModel,
+                       build_semantic_model, summarize)
 
 __all__ = [
+    "AnalysisCache",
+    "CallGraph",
     "Finding",
     "LintReport",
     "Rule",
+    "SemanticModel",
     "all_rules",
+    "build_semantic_model",
     "discover_files",
     "get_rules",
     "register",
     "run_lint",
+    "summarize",
+    "to_sarif",
 ]

@@ -18,16 +18,6 @@ def dotted_name(node: ast.AST) -> Optional[str]:
     return None
 
 
-def call_name(node: ast.Call) -> str:
-    """Bare name of the callee: ``f`` for both ``f(...)`` and ``m.f(...)``."""
-    func = node.func
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    if isinstance(func, ast.Name):
-        return func.id
-    return ""
-
-
 class ImportMap:
     """Resolve local aliases back to canonical module/symbol paths.
 

@@ -11,25 +11,30 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..robust.errors import ReproError
 from .engine import iter_rule_docs, run_lint
+from .sarif import to_sarif
+from .semantic.cache import DEFAULT_CACHE_DIR
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description=("AST-based model-correctness linter for the repro "
-                     "codebase (RNG discipline, validation coverage, "
-                     "exception hygiene, fault-registry drift, "
-                     "vectorization safety)."))
+        description=("AST- and call-graph-based model-correctness "
+                     "linter for the repro codebase (RNG discipline, "
+                     "validation coverage, exception hygiene, "
+                     "fault-registry drift, vectorization safety, "
+                     "transitive determinism, twin-signature parity, "
+                     "dead-API detection)."))
     parser.add_argument(
         "paths", nargs="*", default=["src/repro"],
         help="files or directories to lint (default: src/repro)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)")
     parser.add_argument(
         "--select", metavar="CODES",
-        help="comma-separated rule codes to run (e.g. R001,R003)")
+        help="comma-separated rule codes to run (e.g. R001,R008)")
     parser.add_argument(
         "--ignore", metavar="CODES",
         help="comma-separated rule codes to skip")
@@ -39,6 +44,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--show-waived", action="store_true",
         help="also print findings suppressed by documented waivers")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the semantic analysis cache")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"semantic summary cache location "
+             f"(default: {DEFAULT_CACHE_DIR})")
     return parser
 
 
@@ -67,13 +79,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         report = run_lint([Path(p) for p in args.paths],
                           select=_codes(args.select),
-                          ignore=_codes(args.ignore))
-    except KeyError as error:
+                          ignore=_codes(args.ignore),
+                          use_cache=not args.no_cache,
+                          cache_dir=args.cache_dir)
+    except ReproError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
 
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return report.exit_code
+    if args.format == "sarif":
+        print(json.dumps(to_sarif(report), indent=2, sort_keys=True))
         return report.exit_code
 
     for finding in report.findings:

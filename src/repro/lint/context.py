@@ -21,10 +21,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
+#: One waiver within a comment.  The reason runs to the next ``#``
+#: (or end of comment) so several waivers can share one comment line;
+#: reasons therefore cannot contain ``#`` themselves.
 _WAIVER_RE = re.compile(
     r"#\s*replint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
     r"(?P<codes>[A-Za-z0-9_,\s]+?)\s*"
-    r"(?:(?:--+|—|–|:)\s*(?P<reason>.*\S))?\s*$")
+    r"(?:(?:--+|—|–|:)\s*(?P<reason>[^#]*[^#\s]))?\s*(?=#|$)")
 
 
 @dataclass(frozen=True)
@@ -68,17 +71,27 @@ class ModuleInfo:
 
 
 def module_name_for(path: Path) -> str:
-    """Dotted module name, anchored at the last ``repro`` path part.
+    """Dotted module name, anchored at the installed package root.
 
-    Files outside a ``repro`` tree (test fixtures) use their stem, so
-    package-scoped rules simply never match them unless the fixture
-    recreates the package layout.
+    The anchor is the last ``repro`` component whose parent is
+    ``src`` -- the layout the package actually installs from -- so a
+    vendored or fixture tree *inside* the package
+    (``src/repro/vendor/repro/...``) or outside it
+    (``tests/repro_fixtures/repro/...``) cannot hijack the anchor.
+    Trees with no ``src/repro`` segment fall back to the last
+    ``repro`` component (synthetic package layouts in test fixtures);
+    files outside any ``repro`` tree use their stem, so
+    package-scoped rules simply never match them.
     """
     parts = list(path.with_suffix("").parts)
     anchor = None
     for index, part in enumerate(parts):
-        if part == "repro":
+        if part == "repro" and index > 0 and parts[index - 1] == "src":
             anchor = index
+    if anchor is None:
+        for index, part in enumerate(parts):
+            if part == "repro":
+                anchor = index
     if anchor is None:
         return parts[-1]
     dotted = parts[anchor:]
@@ -96,19 +109,18 @@ def _parse_waivers(source: str) -> List[Waiver]:
         for token in tokens:
             if token.type != tokenize.COMMENT:
                 continue
-            match = _WAIVER_RE.search(token.string)
-            if not match:
-                continue
-            codes = tuple(sorted({c.strip().upper()
-                                  for c in match.group("codes").split(",")
-                                  if c.strip()}))
-            if not codes:
-                continue
-            waivers.append(Waiver(
-                line=token.start[0],
-                codes=codes,
-                reason=(match.group("reason") or "").strip(),
-                file_wide=match.group("kind") == "disable-file"))
+            for match in _WAIVER_RE.finditer(token.string):
+                codes = tuple(sorted({
+                    c.strip().upper()
+                    for c in match.group("codes").split(",")
+                    if c.strip()}))
+                if not codes:
+                    continue
+                waivers.append(Waiver(
+                    line=token.start[0],
+                    codes=codes,
+                    reason=(match.group("reason") or "").strip(),
+                    file_wide=match.group("kind") == "disable-file"))
     except tokenize.TokenError:  # pragma: no cover - unparsable files
         pass                     # are reported as E999 by the loader
     return waivers

@@ -1,10 +1,18 @@
 """Rule base class and registry for ``repro.lint``.
 
 A rule is a small stateless object with a ``code`` (``R0xx``), a
-``name`` and either a per-module ``check_module(info)`` hook or, for
-cross-file invariants, a ``check_project(infos)`` hook (``scope =
-"project"``).  Rules yield :class:`~repro.lint.findings.Finding`
-objects; waiver filtering happens centrally in the engine.
+``name`` and one of three hooks, selected by ``scope``:
+
+* ``"module"`` -- ``check_module(info)`` sees one parsed file;
+* ``"project"`` -- ``check_project(infos)`` sees every parsed file;
+* ``"semantic"`` -- ``check_semantic(model)`` sees the project-wide
+  :class:`~repro.lint.semantic.model.SemanticModel` (call graph,
+  transitive effects, backend/contract registrations) built from
+  cached per-file summaries -- these rules never touch raw ASTs, so
+  a warm cache runs them without re-parsing anything.
+
+Rules yield :class:`~repro.lint.findings.Finding` objects; waiver
+filtering happens centrally in the engine.
 """
 
 from __future__ import annotations
@@ -22,7 +30,8 @@ class Rule:
     code: str = "R000"
     name: str = "base"
     description: str = ""
-    #: "module" rules see one file at a time; "project" rules see all.
+    #: "module" rules see one file at a time; "project" rules see
+    #: all parsed files; "semantic" rules see the SemanticModel.
     scope: str = "module"
 
     def check_module(self, info: ModuleInfo) -> Iterable[Finding]:
@@ -30,6 +39,9 @@ class Rule:
 
     def check_project(
             self, infos: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        return ()
+
+    def check_semantic(self, model) -> Iterable[Finding]:
         return ()
 
 
@@ -69,4 +81,5 @@ def get_rules(select: Optional[Sequence[str]] = None,
 def _load_builtin_rules() -> None:
     """Import the rule modules exactly once (registration side effect)."""
     from . import (rng, validation, exceptions, registry,  # noqa: F401
-                   vectorization, shard_rng, backends)  # noqa: F401
+                   vectorization, shard_rng, backends,  # noqa: F401
+                   determinism, twins, deadapi)  # noqa: F401

@@ -1,0 +1,56 @@
+"""R010: dead public API.
+
+A public module-level function in ``repro.*`` (no leading underscore,
+not a dunder) that is neither referenced anywhere else in the scanned
+tree (calls, attribute access, ``from x import name``, decorator use,
+fault-registry baselines -- any Name/Attribute load counts) nor
+exported through an ``__all__`` list is unreachable surface: it rots
+silently, its contracts are never exercised, and it inflates the API
+the equivalence/fault suites are supposed to cover.  Either export it
+deliberately (add it to ``__all__``), wire it up, or delete it.
+
+Methods are exempt (dispatch hides their references); so are module
+``main``/CLI entry hooks.  Recursion does not count as a reference.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..findings import Finding
+from . import Rule, register
+
+_ENTRY_NAMES = {"main"}
+
+
+@register
+class DeadPublicApiRule(Rule):
+    code = "R010"
+    name = "dead-public-api"
+    description = ("public repro.* functions must be referenced or "
+                   "exported somewhere in the project")
+    scope = "semantic"
+
+    def check_semantic(self, model) -> Iterable[Finding]:
+        exported = set()
+        for summary in model.summaries.values():
+            exported.update(summary.exports)
+        for summary in sorted(model.summaries.values(),
+                              key=lambda s: s.path):
+            if not summary.module.startswith("repro"):
+                continue
+            for fn in summary.functions.values():
+                if fn.class_name is not None or not fn.is_public:
+                    continue
+                if fn.name.startswith("__") or fn.name in _ENTRY_NAMES:
+                    continue
+                if fn.name in exported:
+                    continue
+                if model.is_referenced(fn):
+                    continue
+                yield Finding(
+                    path=summary.path, line=fn.line, col=fn.col,
+                    code=self.code,
+                    message=(f"public function {fn.qual} is never "
+                             f"referenced or exported -- wire it up, "
+                             f"add it to __all__, or remove it"))

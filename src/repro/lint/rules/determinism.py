@@ -1,0 +1,51 @@
+"""R008: transitive determinism of contract-bearing roots.
+
+R001 and R006 police individual call sites; R008 upgrades them to a
+*reachability* guarantee.  Every determinism root -- a shard entry
+point (the R006 set: ``run_shard`` or any function with a ``shard``
+parameter), a registered backend target, or a function named in an
+equivalence contract's ``entry_points`` -- must not transitively
+reach a nondeterministic effect (``reads-clock``, ``unseeded-rng``,
+``env-dependent``, ``io``, ``unordered-iteration``) anywhere in its
+call graph.
+
+Two waiver points exist, both requiring a documented reason:
+
+* on the *sink* line (where the effect happens) -- excludes that
+  effect from propagation entirely, for "wall-clock only feeds
+  diagnostics"-style exemptions shared by every caller;
+* on the *root* definition line -- waives the finding for that root
+  only, through the normal engine waiver filter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..findings import Finding
+from . import Rule, register
+
+
+@register
+class TransitiveDeterminismRule(Rule):
+    code = "R008"
+    name = "transitive-determinism"
+    description = ("shard entry points, backend targets, and contract "
+                   "entry points must not transitively reach "
+                   "nondeterministic effects")
+    scope = "semantic"
+
+    def check_semantic(self, model) -> Iterable[Finding]:
+        graph = model.graph
+        paths = {fn.qual: summary.path
+                 for summary in model.summaries.values()
+                 for fn in summary.functions.values()}
+        for qual, why in model.determinism_roots():
+            fn = graph.functions[qual]
+            for kind, origin in sorted(graph.effects_of(qual).items()):
+                yield Finding(
+                    path=paths[qual], line=fn.line, col=fn.col,
+                    code=self.code,
+                    message=(f"{fn.name} ({why}) transitively reaches "
+                             f"a '{kind}' effect: "
+                             f"{origin.describe()}"))

@@ -1,0 +1,54 @@
+"""repro.lint.semantic -- project-wide semantic analysis layer.
+
+The per-file rules (R001-R007) are syntactic: they judge what a
+function *does*, line by line.  The headline guarantees of this
+codebase, though, are *reachability* properties -- "no shard entry
+point may **reach** a wall-clock read", "scalar/batched twins may not
+drift apart" -- so this subpackage lowers every parsed module to a
+compact, JSON-serializable :class:`~repro.lint.semantic.summary.
+FileSummary` (per-function effect sets, resolved callees, signatures,
+references, waivers) and assembles the summaries into a queryable
+:class:`~repro.lint.semantic.model.SemanticModel`:
+
+* :mod:`~repro.lint.semantic.effects` -- direct nondeterminism /
+  impurity detection (``reads-clock``, ``unseeded-rng``,
+  ``env-dependent``, ``io``, ``unordered-iteration``);
+* :mod:`~repro.lint.semantic.summary` -- the per-file summary
+  extraction (a pure function of file content, hence cacheable);
+* :mod:`~repro.lint.semantic.callgraph` -- intra-project call
+  resolution into a graph with transitive effect propagation and
+  witness chains;
+* :mod:`~repro.lint.semantic.cache` -- the incremental analysis
+  cache (content-hash keyed summaries under ``.replint_cache/``) so
+  semantic-only lint runs skip re-parsing unchanged files;
+* :mod:`~repro.lint.semantic.model` -- ties summaries + graph into
+  the object the semantic rules (R008-R010) consume.
+
+Summaries are extracted once per file content; the propagation layer
+is recomputed from summaries on every run (it is cheap relative to
+parsing), which makes cache invalidation transitive by construction:
+editing one file re-summarizes only that file, yet every derived
+transitive fact downstream of it is rebuilt.
+"""
+
+from .cache import AnalysisCache
+from .callgraph import CallGraph, EffectOrigin
+from .effects import NONDETERMINISTIC_EFFECTS
+from .model import SemanticModel, build_semantic_model
+from .summary import (EffectSummary, FileSummary, FunctionSummary,
+                      ParamSummary, SUMMARY_SCHEMA_VERSION, summarize)
+
+__all__ = [
+    "AnalysisCache",
+    "CallGraph",
+    "EffectOrigin",
+    "EffectSummary",
+    "FileSummary",
+    "FunctionSummary",
+    "NONDETERMINISTIC_EFFECTS",
+    "ParamSummary",
+    "SUMMARY_SCHEMA_VERSION",
+    "SemanticModel",
+    "build_semantic_model",
+    "summarize",
+]

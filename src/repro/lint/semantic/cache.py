@@ -1,0 +1,110 @@
+"""Incremental analysis cache: content-hash keyed file summaries.
+
+Each entry is one :class:`~repro.lint.semantic.summary.FileSummary`
+serialized to JSON under ``.replint_cache/``, keyed by
+``sha256(schema-version || path || content)``.  Because a summary is
+a pure function of (path, content), a hash hit is always safe to
+reuse; anything *derived* across files (call graph, transitive
+effects) is recomputed from summaries on every run, so no transitive
+invalidation bookkeeping is needed -- editing a file changes its hash,
+misses the cache, and every downstream fact rebuilds automatically.
+
+Writes are atomic (tempfile + ``os.replace``) so a crashed or
+concurrent run can never leave a torn entry; unreadable or
+schema-mismatched entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ...robust.errors import ModelDomainError
+from .summary import FileSummary, SUMMARY_SCHEMA_VERSION
+
+#: Default location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".replint_cache"
+
+
+class AnalysisCache:
+    """Content-addressed store of per-file semantic summaries."""
+
+    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR, *,
+                 max_files: int = 4096):
+        if not isinstance(max_files, int) or isinstance(max_files, bool):
+            raise ModelDomainError(
+                f"max_files must be an int, got {max_files!r}")
+        if max_files < 1:
+            raise ModelDomainError(
+                f"max_files must be >= 1, got {max_files}")
+        self.root = Path(root)
+        self.max_files = max_files
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(path: os.PathLike, content: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(f"v{SUMMARY_SCHEMA_VERSION}\0".encode("utf-8"))
+        digest.update(f"{Path(path)}\0".encode("utf-8"))
+        digest.update(content.encode("utf-8"))
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, path: os.PathLike,
+             content: str) -> Optional[FileSummary]:
+        """The cached summary for this exact content, or ``None``."""
+        entry = self._entry_path(self.key_for(path, content))
+        try:
+            data = json.loads(entry.read_text(encoding="utf-8"))
+            summary = FileSummary.from_dict(data["summary"]) \
+                if data.get("schema") == SUMMARY_SCHEMA_VERSION else None
+        except (OSError, ValueError, KeyError, TypeError):
+            summary = None
+        if summary is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def store(self, path: os.PathLike, content: str,
+              summary: FileSummary) -> None:
+        """Persist a summary atomically; errors are non-fatal (the
+        cache is an accelerator, never a correctness dependency)."""
+        entry = self._entry_path(self.key_for(path, content))
+        payload = json.dumps({"schema": SUMMARY_SCHEMA_VERSION,
+                              "summary": summary.to_dict()},
+                             separators=(",", ":"), sort_keys=True)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=str(self.root), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(temp_name, entry)
+            finally:
+                if os.path.exists(temp_name):
+                    os.unlink(temp_name)
+        except OSError:
+            return
+        self._prune()
+
+    def _prune(self) -> None:
+        """Drop oldest entries beyond ``max_files`` (by mtime)."""
+        try:
+            entries = sorted(self.root.glob("*.json"),
+                             key=lambda p: p.stat().st_mtime)
+        except OSError:
+            return
+        for stale in entries[:max(0, len(entries) - self.max_files)]:
+            try:
+                stale.unlink()
+            except OSError:
+                continue

@@ -1,0 +1,240 @@
+"""Direct effect detection: which nondeterministic operations does a
+function body perform *itself*?
+
+Each detector inspects one AST node in the context of the module's
+import map and yields ``(kind, detail)`` pairs; the transitive story
+(who *reaches* these effects) is the call graph's job
+(:mod:`repro.lint.semantic.callgraph`).
+
+The effect vocabulary:
+
+``reads-clock``
+    Wall-clock or CPU-clock reads (``time.perf_counter``,
+    ``datetime.now``, ...).  Harmless in profiling, fatal in anything
+    whose output must replay bit-for-bit.
+``unseeded-rng``
+    Hidden global RNG state (legacy ``numpy.random.*`` functions,
+    stdlib ``random``), unseeded ``default_rng()`` (including the
+    ``seed=None`` pass-through), and unseeded
+    ``resolve_rng()``/``spawn_seed()`` -- deterministic per process,
+    but dependent on global call order, which the shard replay
+    contract forbids.
+``env-dependent``
+    Reads of ambient process/host state: ``os.environ``, PIDs,
+    hostnames, CPU counts.
+``io``
+    Filesystem/subprocess interaction (``open``, ``Path.read_text``,
+    ``subprocess.run``, ...).
+``unordered-iteration``
+    Direct iteration over a set (literal, ``set()``/``frozenset()``
+    constructor, or a set-algebra method result) whose order depends
+    on hash seeding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Sequence, Tuple
+
+from ..astutil import ImportMap, dotted_name, is_none_constant, \
+    param_default_map
+
+#: Effect kinds that void a determinism contract when reached from a
+#: contract-bearing root (the R008 set -- currently every kind).
+NONDETERMINISTIC_EFFECTS: Tuple[str, ...] = (
+    "reads-clock", "unseeded-rng", "env-dependent", "io",
+    "unordered-iteration",
+)
+
+_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns", "time.clock_gettime",
+    "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+_ENV_CALLS = {
+    "os.getenv", "os.getpid", "os.getppid", "os.urandom",
+    "os.cpu_count", "os.getcwd", "os.getlogin",
+    "platform.system", "platform.node", "platform.platform",
+    "platform.machine", "platform.release",
+    "socket.gethostname", "socket.getfqdn",
+    "getpass.getuser", "multiprocessing.cpu_count",
+}
+
+#: Bare attribute chains (not calls) that read ambient state.
+_ENV_ATTRS = {"os.environ"}
+
+_IO_CALLS = {
+    "open", "io.open",
+    "tempfile.mkstemp", "tempfile.mkdtemp",
+    "tempfile.NamedTemporaryFile", "tempfile.TemporaryFile",
+    "tempfile.TemporaryDirectory",
+    "os.remove", "os.unlink", "os.rename", "os.replace",
+    "os.makedirs", "os.mkdir", "os.rmdir", "os.listdir",
+    "os.scandir", "os.stat",
+    "shutil.copy", "shutil.copyfile", "shutil.copytree",
+    "shutil.move", "shutil.rmtree",
+    "subprocess.run", "subprocess.Popen", "subprocess.call",
+    "subprocess.check_call", "subprocess.check_output",
+}
+
+#: Method names that do file I/O on any receiver (Path idioms).
+_IO_METHODS = {
+    "read_text", "write_text", "read_bytes", "write_bytes",
+}
+
+#: numpy.random attributes that are construction machinery, not
+#: hidden global state (mirrors the R001 allow list).
+_NUMPY_ALLOWED = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+}
+
+_STDLIB_RANDOM = {
+    "random", "uniform", "randint", "randrange", "choice", "choices",
+    "sample", "shuffle", "gauss", "normalvariate", "lognormvariate",
+    "expovariate", "betavariate", "gammavariate", "triangular",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "seed",
+    "getrandbits", "getstate", "setstate", "binomialvariate",
+}
+
+_SET_METHODS = {
+    "intersection", "union", "difference", "symmetric_difference",
+}
+
+
+def _default_rng_unseeded(node: ast.Call,
+                          stack: Sequence[ast.AST]) -> bool:
+    """The R001 predicate: no arguments, a literal ``None``, or a
+    bare name that is an enclosing parameter defaulting to ``None``
+    (the ``seed=None`` pass-through)."""
+    if node.keywords:
+        return False
+    if not node.args:
+        return True
+    first = node.args[0]
+    if is_none_constant(first):
+        return True
+    if isinstance(first, ast.Name):
+        for fn in reversed(list(stack)):
+            if not isinstance(fn, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                continue
+            defaults = param_default_map(fn)
+            if first.id in defaults:
+                return is_none_constant(defaults[first.id])
+    return False
+
+
+def _forwarding_unpinned(node: ast.Call) -> bool:
+    """The R006 predicate for ``resolve_rng``/``spawn_seed``: pinned
+    by any argument that is not a literal ``None`` (forwarding a
+    caller's ``rng``/``seed`` variable is the sanctioned idiom)."""
+    pinned = [arg for arg in node.args if not is_none_constant(arg)]
+    pinned += [kw for kw in node.keywords
+               if not is_none_constant(kw.value)]
+    return not pinned
+
+
+def _rng_effects(node: ast.Call, canonical: str, dotted: str,
+                 import_heads: frozenset,
+                 stack: Sequence[ast.AST]) -> Iterator[Tuple[str, str]]:
+    parts = canonical.split(".")
+    if canonical.startswith("numpy.random.") and len(parts) >= 3:
+        attr = parts[2]
+        if attr == "default_rng":
+            if _default_rng_unseeded(node, stack):
+                yield "unseeded-rng", "unseeded numpy.random.default_rng()"
+        elif attr not in _NUMPY_ALLOWED:
+            yield "unseeded-rng", f"legacy global numpy.random.{attr}()"
+        return
+    if canonical == "numpy.random.default_rng" \
+            and _default_rng_unseeded(node, stack):
+        yield "unseeded-rng", "unseeded default_rng()"
+        return
+    bare = dotted.split(".")[-1]
+    if len(parts) == 2 and parts[0] == "random" \
+            and dotted.split(".")[0] in import_heads \
+            and parts[1] in _STDLIB_RANDOM:
+        yield "unseeded-rng", f"stdlib random.{parts[1]}()"
+        return
+    if (canonical == "repro.robust.rng.resolve_rng"
+            or (bare == "resolve_rng" and "." not in dotted)):
+        if _forwarding_unpinned(node):
+            yield "unseeded-rng", \
+                "resolve_rng() without rng or seed (global child stream)"
+        return
+    if (canonical == "repro.robust.rng.spawn_seed"
+            or (bare == "spawn_seed" and "." not in dotted)):
+        if _forwarding_unpinned(node):
+            yield "unseeded-rng", \
+                "spawn_seed() without a parent seed (global child stream)"
+
+
+def _unordered_source(expr: ast.AST) -> str:
+    """Why iterating ``expr`` is hash-order dependent ('' if it isn't)."""
+    if isinstance(expr, ast.Set):
+        return "a set literal"
+    if isinstance(expr, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func) or ""
+        bare = name.split(".")[-1]
+        if bare in ("set", "frozenset") and "." not in name:
+            return f"{bare}(...)"
+        if isinstance(expr.func, ast.Attribute) \
+                and expr.func.attr in _SET_METHODS:
+            return f".{expr.func.attr}(...)"
+    return ""
+
+
+#: The sanctioned generator construction site: its internal
+#: ``default_rng``/root-stream handling is what the call-site
+#: detectors (``resolve_rng()``/``spawn_seed()`` unpinned) model, so
+#: detecting it *inside* the module would double-count every caller.
+_RNG_MODULE = "repro.robust.rng"
+
+
+def detect_effects(node: ast.AST, imports: ImportMap,
+                   import_heads: frozenset,
+                   stack: Sequence[ast.AST],
+                   module: str = "") -> List[Tuple[str, str]]:
+    """All ``(kind, detail)`` effects this single AST node performs."""
+    found: List[Tuple[str, str]] = []
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            canonical = imports.canonical(dotted)
+            if canonical in _CLOCK_CALLS:
+                found.append(("reads-clock", canonical))
+            elif canonical in _ENV_CALLS:
+                found.append(("env-dependent", f"{canonical}()"))
+            elif canonical in _IO_CALLS:
+                found.append(("io", f"{canonical}()"))
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _IO_METHODS:
+                found.append(("io", f".{node.func.attr}()"))
+            if module != _RNG_MODULE:
+                found.extend(_rng_effects(node, canonical, dotted,
+                                          import_heads, stack))
+    elif isinstance(node, ast.Attribute):
+        dotted = dotted_name(node)
+        if dotted is not None and imports.canonical(dotted) in _ENV_ATTRS:
+            found.append(("env-dependent",
+                          imports.canonical(dotted)))
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        source = _unordered_source(node.iter)
+        if source:
+            found.append(("unordered-iteration",
+                          f"for-loop over {source}"))
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                           ast.GeneratorExp)):
+        for generator in node.generators:
+            source = _unordered_source(generator.iter)
+            if source:
+                found.append(("unordered-iteration",
+                              f"comprehension over {source}"))
+    return found

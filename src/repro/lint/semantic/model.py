@@ -1,0 +1,141 @@
+"""The object the semantic rules consume.
+
+A :class:`SemanticModel` bundles the per-file summaries (cache-served
+or freshly extracted) with the :class:`~repro.lint.semantic.callgraph.
+CallGraph` built from them, and pre-digests the project-wide facts
+the R008-R010 rules query: determinism roots (shard entry points,
+backend registration targets, contract entry points), backend twin
+pairs per engine, and the merged reference/export tables for liveness
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .callgraph import CallGraph
+from .summary import (BackendRegistration, ContractRegistration,
+                      FileSummary, FunctionSummary)
+
+
+@dataclass
+class EnginePair:
+    """One backend engine's registered oracle/vectorized targets."""
+
+    engine: str
+    oracle: str = ""            # resolved qualname ("" = unregistered)
+    vectorized: str = ""
+    #: (path, line) of the registration sites, for finding anchors.
+    oracle_site: Tuple[str, int] = ("", 0)
+    vectorized_site: Tuple[str, int] = ("", 0)
+    entry_points: List[str] = field(default_factory=list)
+    contract_site: Tuple[str, int] = ("", 0)
+
+
+@dataclass
+class SemanticModel:
+    """Project-wide semantic facts, ready for rule consumption."""
+
+    #: path string -> that file's summary.
+    summaries: Dict[str, FileSummary]
+    graph: CallGraph
+    engines: Dict[str, EnginePair] = field(default_factory=dict)
+    #: bare name -> True when referenced outside the function's own
+    #: body somewhere in the project (or exported via ``__all__``).
+    _live_names: Set[str] = field(default_factory=set)
+    #: bare name -> owners that reference it ("module.owner" tags).
+    _reference_owners: Dict[str, Set[str]] = field(default_factory=dict)
+
+    # -- R008: determinism roots --------------------------------------
+
+    def determinism_roots(self) -> List[Tuple[str, str]]:
+        """``(qualname, why-it-is-a-root)`` for every contract-bearing
+        function: R006 shard entry points, registered backend targets,
+        and functions named in an equivalence contract."""
+        roots: Dict[str, str] = {}
+
+        def add(qual: str, why: str) -> None:
+            roots.setdefault(qual, why)
+
+        for qual in sorted(self.graph.functions):
+            if self.graph.functions[qual].is_shard_entry:
+                add(qual, "shard entry point")
+        for engine in sorted(self.engines):
+            pair = self.engines[engine]
+            if pair.oracle:
+                add(pair.oracle, f"oracle backend of '{engine}'")
+            if pair.vectorized:
+                add(pair.vectorized,
+                    f"vectorized backend of '{engine}'")
+            for name in pair.entry_points:
+                for qual in self.graph.find(name):
+                    add(qual,
+                        f"entry point of '{engine}' contract")
+        return sorted(roots.items())
+
+    # -- R010: liveness -----------------------------------------------
+
+    def is_referenced(self, fn: FunctionSummary) -> bool:
+        """Is ``fn`` referenced anywhere beyond its own body?"""
+        owners = self._reference_owners.get(fn.name)
+        if not owners:
+            return False
+        # A reference from the function's own body (recursion) does
+        # not make it live: its owner tag equals the qualname.
+        return any(owner != fn.qual for owner in owners)
+
+    def live_names(self) -> Set[str]:
+        return set(self._live_names)
+
+    def reference_owners(self, name: str) -> Set[str]:
+        return set(self._reference_owners.get(name, ()))
+
+
+def build_semantic_model(
+        summaries: Dict[str, FileSummary]) -> SemanticModel:
+    """Assemble the model from per-file summaries (any dict key)."""
+    graph = CallGraph(summaries)
+    model = SemanticModel(summaries=dict(summaries), graph=graph)
+
+    for summary in summaries.values():
+        for registration in summary.backend_registrations:
+            _fold_backend(model, summary, registration)
+        for registration in summary.contract_registrations:
+            _fold_contract(model, summary, registration)
+        for name, owners in summary.references.items():
+            bucket = model._reference_owners.setdefault(name, set())
+            for owner in owners:
+                # Tag owners with their defining module so a function
+                # referencing itself in another module still counts.
+                bucket.add(f"{summary.module}.{owner}" if owner
+                           else f"{summary.module}:<toplevel>")
+            model._live_names.add(name)
+        for exported in summary.exports:
+            model._live_names.add(exported)
+    return model
+
+
+def _fold_backend(model: SemanticModel, summary: FileSummary,
+                  registration: BackendRegistration) -> None:
+    if not registration.engine:
+        return
+    pair = model.engines.setdefault(
+        registration.engine, EnginePair(engine=registration.engine))
+    site = (summary.path, registration.line)
+    if registration.backend == "oracle":
+        pair.oracle = registration.target
+        pair.oracle_site = site
+    elif registration.backend == "vectorized":
+        pair.vectorized = registration.target
+        pair.vectorized_site = site
+
+
+def _fold_contract(model: SemanticModel, summary: FileSummary,
+                   registration: ContractRegistration) -> None:
+    if not registration.engine:
+        return
+    pair = model.engines.setdefault(
+        registration.engine, EnginePair(engine=registration.engine))
+    pair.entry_points.extend(registration.entry_points)
+    pair.contract_site = (summary.path, registration.line)

@@ -185,6 +185,7 @@ def default_registry() -> List[ApiSpec]:
     from ..digital.timing import delay_under_mismatch
     from ..digital.timing_compiled import CompiledTimingGraph
     from ..interconnect import elmore, wire
+    from ..lint.semantic import AnalysisCache
     from ..technology.library import get_node
     from ..technology.node import TechnologyNode
     from ..thermal.electrothermal import solve_operating_point
@@ -291,6 +292,9 @@ def default_registry() -> List[ApiSpec]:
                           limit=limit, n_dies=8, seed=11),
             n_shards=n_shards, env_chaos=False, use_cache=False)
         return result.value.yield_fraction
+
+    def lint_cache_capacity(max_files: Any) -> float:
+        return float(AnalysisCache(max_files=max_files).max_files)
 
     coherent_record = np.sin(
         2.0 * np.pi * 5.0 * np.arange(128) / 128.0)
@@ -739,4 +743,7 @@ def default_registry() -> List[ApiSpec]:
         ApiSpec("exec.runner.run_sharded", exec_run_sharded,
                 {"limit": 0.03, "n_shards": 2},
                 ("limit", "n_shards")),
+        ApiSpec("lint.semantic.cache.AnalysisCache", lint_cache_capacity,
+                {"max_files": 64},
+                ("max_files",)),
     ]

@@ -109,7 +109,7 @@ class IterationGuard:
         self.residual = float("nan")
         self._converged = False
         self._finished = False
-        self._start = time.perf_counter()
+        self._start = time.perf_counter()  # replint: disable=R008 -- wall time only feeds diagnostics, never results
 
     def __iter__(self) -> Iterator[int]:
         for i in range(1, self.max_iterations + 1):
@@ -151,7 +151,7 @@ class IterationGuard:
     @property
     def elapsed_s(self) -> float:
         """Wall-clock seconds since the guard was constructed."""
-        return time.perf_counter() - self._start
+        return time.perf_counter() - self._start  # replint: disable=R008 -- elapsed time decorates reports only
 
     def report(self, message: str = "") -> ConvergenceReport:
         """The loop outcome as a structured report."""
@@ -185,12 +185,12 @@ class SimulationBudget:
         self.name = name
         self.raise_on_exhaust = raise_on_exhaust
         self.spent = 0
-        self._start = time.perf_counter()
+        self._start = time.perf_counter()  # replint: disable=R008 -- wall time only feeds diagnostics, never results
 
     @property
     def elapsed_s(self) -> float:
         """Wall-clock seconds since the budget was constructed."""
-        return time.perf_counter() - self._start
+        return time.perf_counter() - self._start  # replint: disable=R008 -- elapsed time decorates reports only
 
     def exhaustion_message(self) -> str:
         """The pinned-format exhaustion diagnostic.

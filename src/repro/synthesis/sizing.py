@@ -415,6 +415,9 @@ register_backend("synthesis.frontend", "vectorized",
                  DetectorFrontend.evaluate_batch,
                  "population-batched detector front-end evaluation")
 register_contract("synthesis.ota", 0.0,
-                  "closed-form evaluator: vectorized twin is bit-for-bit")
+                  "closed-form evaluator: vectorized twin is bit-for-bit",
+                  entry_points=("repro.synthesis.sizing.ota_synthesizer",))
 register_contract("synthesis.frontend", 0.0,
-                  "closed-form evaluator: vectorized twin is bit-for-bit")
+                  "closed-form evaluator: vectorized twin is bit-for-bit",
+                  entry_points=(
+                      "repro.synthesis.sizing.frontend_synthesizer",))

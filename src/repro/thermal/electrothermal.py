@@ -675,4 +675,10 @@ register_backend("thermal.electrothermal", "vectorized",
 register_contract("thermal.electrothermal", 1e-9,
                   "iterative solver: junction temperatures within 1e-9 "
                   "relative; convergence flags, iteration counts and "
-                  "report messages agree exactly")
+                  "report messages agree exactly",
+                  entry_points=(
+                      "repro.thermal.electrothermal"
+                      ".runaway_rth_threshold",
+                      "repro.thermal.electrothermal"
+                      ".electrothermal_rth_sweep",
+                  ))

@@ -67,6 +67,17 @@ class TestShippedTreeIsClean:
         # report implies every waiver in the tree carries a reason.
         assert payload["n_findings"] == 0
 
+    def test_semantic_rules_pass_on_shipped_tree(self):
+        """``python -m repro.lint --select R008,R009,R010 src/repro``
+        is the semantic acceptance gate."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lint",
+             "--select", "R008,R009,R010", str(SRC)],
+            capture_output=True, text=True, cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": str(REPO_ROOT / "src"),
+                 "PYTHONHASHSEED": "0"})
+        assert result.returncode == 0, result.stdout + result.stderr
+
     def test_shipped_waivers_are_few_and_documented(self):
         report = json.loads(subprocess.run(
             [sys.executable, "-m", "repro.lint", str(SRC),
@@ -99,6 +110,35 @@ SEEDS = {
         def f(v: np.ndarray) -> np.ndarray:
             return math.exp(v)
     """,
+    "R008": """
+        import time
+
+        def _sink():
+            return time.perf_counter()
+
+        def _middle():
+            return _sink()
+
+        def run_shard(spec):
+            return _middle()
+    """,
+    "R009": """
+        def solve(x, rtol=1e-9):
+            return x
+
+        def solve_batch(xs, rtol=1e-6):
+            return xs
+    """,
+    "R010": """
+        def orphan(x):
+            return x
+    """,
+}
+
+#: Rules that only fire inside specific package layouts.
+SEED_PATHS = {
+    "R002": "repro/devices/seeded.py",
+    "R010": "repro/devices/seeded.py",
 }
 
 
@@ -106,8 +146,7 @@ class TestSeededViolationsFail:
     @pytest.mark.parametrize("code", sorted(SEEDS))
     def test_seeded_violation_exits_nonzero(self, tmp_path, code,
                                             capsys):
-        name = "repro/devices/seeded.py" if code == "R002" \
-            else "seeded.py"
+        name = SEED_PATHS.get(code, "seeded.py")
         path = tmp_path / name
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(textwrap.dedent(SEEDS[code]))

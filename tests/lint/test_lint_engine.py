@@ -5,7 +5,8 @@ import textwrap
 import pytest
 
 from repro.lint import Finding, discover_files, run_lint
-from repro.robust.errors import RoadmapDataError
+from repro.lint.context import module_name_for
+from repro.robust.errors import ModelDomainError, RoadmapDataError
 
 
 def write(tmp_path, source, name="mod.py"):
@@ -125,3 +126,114 @@ class TestEngine:
         finding = Finding(path="src/x.py", line=3, col=4, code="R001",
                           message="msg")
         assert finding.format() == "src/x.py:3:4: R001 msg"
+
+
+class TestPathValidation:
+    """`discover_files`/`run_lint` must reject bad paths loudly: a
+    silently dropped argument is indistinguishable from a clean run."""
+
+    def test_nonexistent_path_raises_typed_error(self, tmp_path):
+        with pytest.raises(ModelDomainError, match="no such file"):
+            discover_files([tmp_path / "nope.py"])
+
+    def test_non_python_file_raises_typed_error(self, tmp_path):
+        notes = tmp_path / "notes.txt"
+        notes.write_text("not python")
+        with pytest.raises(ModelDomainError, match="not a Python"):
+            discover_files([notes])
+
+    def test_run_lint_propagates_path_errors(self, tmp_path):
+        with pytest.raises(ModelDomainError):
+            run_lint([tmp_path / "missing_dir" / "mod.py"])
+
+    def test_explicit_python_file_is_accepted(self, tmp_path):
+        path = write(tmp_path, VIOLATION)
+        assert discover_files([path]) == [path]
+
+
+class TestModuleNameFor:
+    def test_src_repro_layout_is_the_anchor(self, tmp_path):
+        path = tmp_path / "src/repro/devices/mosfet.py"
+        assert module_name_for(path) == "repro.devices.mosfet"
+
+    def test_vendored_repro_inside_package_does_not_hijack(
+            self, tmp_path):
+        path = tmp_path / "src/repro/vendor/repro/inner.py"
+        assert module_name_for(path) == "repro.vendor.repro.inner"
+
+    def test_fixture_tree_falls_back_to_last_repro(self, tmp_path):
+        path = tmp_path / "tests/repro_fixtures/repro/devices/mod.py"
+        assert module_name_for(path) == "repro.devices.mod"
+
+    def test_no_repro_component_uses_stem(self, tmp_path):
+        assert module_name_for(tmp_path / "scratch/tool.py") == "tool"
+
+    def test_init_collapses_to_package(self, tmp_path):
+        path = tmp_path / "src/repro/devices/__init__.py"
+        assert module_name_for(path) == "repro.devices"
+
+
+class TestWaiverParsingEdgeCases:
+    def test_em_dash_separator(self, tmp_path):
+        write(tmp_path, """
+            def f(x):
+                raise ValueError("bad")  # replint: disable=R003 — em-dash reason
+        """)
+        report = run_lint([tmp_path])
+        assert report.clean
+        assert [f.code for f in report.waived] == ["R003"]
+
+    def test_en_dash_separator(self, tmp_path):
+        write(tmp_path, """
+            def f(x):
+                raise ValueError("bad")  # replint: disable=R003 – en-dash reason
+        """)
+        report = run_lint([tmp_path])
+        assert report.clean
+        assert [f.code for f in report.waived] == ["R003"]
+
+    def test_colon_separator(self, tmp_path):
+        write(tmp_path, """
+            def f(x):
+                raise ValueError("bad")  # replint: disable=R003: colon reason
+        """)
+        report = run_lint([tmp_path])
+        assert report.clean
+        assert [f.code for f in report.waived] == ["R003"]
+
+    def test_multiple_waivers_on_one_line(self, tmp_path):
+        write(tmp_path, """
+            import numpy as np
+
+            def f(x):
+                raise ValueError(np.random.normal())  # replint: disable=R003 -- why a # replint: disable=R001 -- why b
+        """)
+        report = run_lint([tmp_path], select=["R001", "R003"])
+        assert report.clean
+        assert sorted(f.code for f in report.waived) == ["R001", "R003"]
+
+    def test_file_wide_and_line_waiver_in_one_comment(self, tmp_path):
+        write(tmp_path, """
+            import numpy as np
+
+            def f(x):
+                raise ValueError("bad")  # replint: disable-file=R001 -- everywhere # replint: disable=R003 -- here
+
+            def g():
+                return np.random.normal()
+        """)
+        report = run_lint([tmp_path], select=["R001", "R003"])
+        assert report.clean
+        assert sorted(f.code for f in report.waived) == ["R001", "R003"]
+
+    def test_standalone_waiver_as_final_line_past_eof(self, tmp_path):
+        # The waiver targets the (nonexistent) next line; it must not
+        # crash, suppress anything, or count as undocumented.
+        write(tmp_path, """
+            def f(x):
+                raise ValueError("bad")
+            # replint: disable=R003 -- dangling final-line waiver
+        """.rstrip() + "\n")
+        report = run_lint([tmp_path])
+        assert [f.code for f in report.findings] == ["R003"]
+        assert not report.waived

@@ -78,7 +78,7 @@ class TestR002ValidationBoundary:
         report = lint_file(tmp_path, """
             def vth_shift(delta: float) -> float:
                 return 2.0 * delta
-        """, name="repro/devices/mod.py")
+        """, name="repro/devices/mod.py", select=["R002"])
         assert codes(report) == ["R002"]
         assert "vth_shift" in report.findings[0].message
 
@@ -89,7 +89,7 @@ class TestR002ValidationBoundary:
             @validated(delta="finite")
             def vth_shift(delta: float) -> float:
                 return 2.0 * delta
-        """, name="repro/devices/mod.py")
+        """, name="repro/devices/mod.py", select=["R002"])
         assert report.clean
 
     def test_delegation_to_guarded_code_is_evidence(self, tmp_path):
@@ -102,7 +102,7 @@ class TestR002ValidationBoundary:
 
             def vth_shift(delta: float) -> float:
                 return _core(delta)
-        """, name="repro/devices/mod.py")
+        """, name="repro/devices/mod.py", select=["R002"])
         assert report.clean
 
     def test_taxonomy_raise_is_evidence(self, tmp_path):
@@ -113,14 +113,14 @@ class TestR002ValidationBoundary:
                 if delta < 0:
                     raise ModelDomainError("negative delta")
                 return 2.0 * delta
-        """, name="repro/devices/mod.py")
+        """, name="repro/devices/mod.py", select=["R002"])
         assert report.clean
 
     def test_non_model_packages_are_out_of_scope(self, tmp_path):
         report = lint_file(tmp_path, """
             def helper(x: float) -> float:
                 return x + 1.0
-        """, name="repro/perf/mod.py")
+        """, name="repro/perf/mod.py", select=["R002"])
         assert report.clean
 
 

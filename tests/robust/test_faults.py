@@ -35,8 +35,9 @@ class TestRegistry:
                 "exec.shards.plan_shards",
                 "exec.result.wilson_interval",
                 "exec.result.clopper_pearson_interval",
-                "exec.runner.run_sharded"} <= names
-        assert len(names) >= 70
+                "exec.runner.run_sharded",
+                "lint.semantic.cache.AnalysisCache"} <= names
+        assert len(names) >= 71
 
 
 class TestSweep:
